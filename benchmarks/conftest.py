@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures: databases built once per session, plus a
+results directory where every figure's table is written."""
+
+import pathlib
+
+import pytest
+
+from repro.bench.experiments import (
+    build_bench_medical,
+    build_bench_synthetic,
+    format_table,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def synthetic_db():
+    return build_bench_synthetic()
+
+
+@pytest.fixture(scope="session")
+def medical_db():
+    return build_bench_medical()
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Write a figure's row table under results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, rows, title: str) -> str:
+        text = format_table(rows, title)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return text
+
+    return _save

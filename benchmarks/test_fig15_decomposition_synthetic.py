@@ -1,0 +1,28 @@
+"""Figure 15: cost decomposition of query Q on the synthetic data set.
+
+Paper's claims: PRE beats POST at sV=0.01 and 0.05 but loses at 0.20;
+at sV=0.20 "the SJoin cost is the same in PRE20 and POST20 while the
+Merge cost is much higher in PRE20 than in POST20".
+"""
+
+from repro.bench.experiments import fig15_decomposition_synthetic
+
+
+def test_fig15_decomposition_synthetic(benchmark, synthetic_db, save_table):
+    rows = benchmark.pedantic(
+        fig15_decomposition_synthetic, args=(synthetic_db,),
+        rounds=1, iterations=1,
+    )
+    save_table("fig15_decomposition_synthetic", rows,
+               "Figure 15: cost decomposition, synthetic (seconds, "
+               "communication excluded)")
+
+    by = {row["config"]: row for row in rows}
+    assert by["PRE1"]["total_excl_comm"] <= by["POST1"]["total_excl_comm"]
+    assert (by["POST20"]["total_excl_comm"]
+            <= by["PRE20"]["total_excl_comm"])
+    # SJoin saturates: same cost for PRE20 and POST20 (within 20%)
+    assert by["PRE20"]["SJoin"] <= by["POST20"]["SJoin"] * 1.2
+    assert by["PRE20"]["SJoin"] >= by["POST20"]["SJoin"] * 0.8
+    # Merge is what makes PRE20 lose
+    assert by["PRE20"]["Merge"] > 2 * by["POST20"]["Merge"]

@@ -1,0 +1,5 @@
+"""Setup shim: allows `python setup.py develop` / legacy editable installs
+in offline environments that lack the `wheel` package."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""GhostDB reproduction: querying visible and hidden data without leaks.
+
+A full reimplementation of the SIGMOD 2007 GhostDB system: a smart-USB-
+key simulator (NAND flash + FTL, 64 KB secure RAM, USB channel), the
+fully indexed storage model (Subtree Key Tables + climbing indexes +
+Bloom filters), the distributed Visible/Hidden query processor
+(Pre/Post/Cross filtering, RAM-bounded Merge, SJoin, MJoin/Project),
+and the paper's complete experimental harness.
+"""
+
+from repro.core.ghostdb import GhostDB
+from repro.core.plan import ProjectionMode, VisStrategy
+from repro.hardware.token import SecureToken, TokenConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GhostDB",
+    "ProjectionMode",
+    "SecureToken",
+    "TokenConfig",
+    "VisStrategy",
+    "__version__",
+]

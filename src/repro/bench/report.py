@@ -1,0 +1,101 @@
+"""Reproduce-everything driver: ``python -m repro.bench.report``.
+
+Runs every experiment of the paper's evaluation section in sequence,
+prints each figure's table, and writes them under ``results/``.  This
+is the scriptable equivalent of ``pytest benchmarks/ --benchmark-only``
+without the pytest machinery.
+
+Options::
+
+    python -m repro.bench.report                 # all figures
+    python -m repro.bench.report fig8 fig15      # a subset
+    GHOSTDB_BENCH_SCALE=0.02 python -m repro.bench.report
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.bench import experiments as exp
+
+RESULTS_DIR = pathlib.Path("results")
+
+
+def _sizes_rows() -> List[Dict]:
+    paper = {"FullIndex": 57, "BasicIndex": 56, "StarIndex": 36,
+             "JoinIndex": 26, "DBSize": 169}
+    return [
+        {"scheme": k, "measured_MB": v, "paper_MB": paper[k]}
+        for k, v in exp.section63_real_sizes().items()
+    ]
+
+
+def build_registry() -> Dict[str, tuple]:
+    """name -> (needs: 'syn'|'med'|None, runner, title)."""
+    return {
+        "fig7": (None, lambda _: exp.fig7_index_size(),
+                 "Figure 7: index storage cost (MB), paper scale"),
+        "real_sizes": (None, lambda _: _sizes_rows(),
+                       "Section 6.3: real data set index sizes (MB)"),
+        "fig8": ("syn", exp.fig8_cross_filtering,
+                 "Figure 8: Filtering vs Cross-Filtering (s)"),
+        "fig9": ("syn", exp.fig9_crosspre_vs_crosspost,
+                 "Figure 9: Cross-Pre vs Cross-Post (s)"),
+        "fig10": ("syn", exp.fig10_pre_vs_post,
+                  "Figure 10: Pre vs Post, no Cross (s)"),
+        "fig11": ("syn", exp.fig11_post_alternatives,
+                  "Figure 11: Post-Filter vs Post-Select (s)"),
+        "fig12": ("syn", exp.fig12_project_crosspre,
+                  "Figure 12: projection under Cross-Pre (s)"),
+        "fig13": ("syn", exp.fig13_project_crosspost,
+                  "Figure 13: projection under Cross-Post (s)"),
+        "fig14": ("syn", exp.fig14_throughput,
+                  "Figure 14: time vs channel throughput (s)"),
+        "fig15": ("syn", exp.fig15_decomposition_synthetic,
+                  "Figure 15: cost decomposition, synthetic (s)"),
+        "fig16": ("med", exp.fig16_decomposition_real,
+                  "Figure 16: cost decomposition, medical (s)"),
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    registry = build_registry()
+    wanted = argv or list(registry)
+    unknown = [w for w in wanted if w not in registry]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"available: {list(registry)}")
+        return 2
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    databases: Dict[str, object] = {}
+
+    def get_db(kind: str):
+        if kind not in databases:
+            print(f"[building {kind} database "
+                  f"(scale={'%.3f' % (exp.SYN_SCALE if kind == 'syn' else exp.MED_SCALE)})...]")
+            databases[kind] = (exp.build_bench_synthetic()
+                               if kind == "syn"
+                               else exp.build_bench_medical())
+        return databases[kind]
+
+    for name in wanted:
+        needs, runner, title = registry[name]
+        start = time.time()
+        rows = runner(get_db(needs)) if needs else runner(None)
+        wall = time.time() - start
+        text = exp.format_table(rows, title)
+        (RESULTS_DIR / f"report_{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        print(f"[{name}: {wall:.1f}s wall]")
+    print(f"\ntables written under {RESULTS_DIR}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""GhostDB core: catalog, loader, operators, planner, executor, facade."""
+
+from repro.core.catalog import SecureCatalog, TableImage
+from repro.core.executor import QepSjExecutor, QueryResult, QueryStats
+from repro.core.ghostdb import GhostDB
+from repro.core.loader import Loader
+from repro.core.plan import ProjectionMode, QueryPlan, VisPlan, VisStrategy
+from repro.core.planner import Planner
+from repro.core.reference import ReferenceEngine
+
+__all__ = [
+    "GhostDB",
+    "Loader",
+    "Planner",
+    "ProjectionMode",
+    "QepSjExecutor",
+    "QueryPlan",
+    "QueryResult",
+    "QueryStats",
+    "ReferenceEngine",
+    "SecureCatalog",
+    "TableImage",
+    "VisPlan",
+    "VisStrategy",
+]

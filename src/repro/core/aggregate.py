@@ -1,0 +1,71 @@
+"""Aggregate evaluation on Secure (paper future work, implemented).
+
+Aggregates run entirely on the token over the projection output, so no
+hidden value ever crosses the channel.  Supported: COUNT(*) / COUNT(c),
+SUM, AVG, MIN, MAX with optional GROUP BY.  Output columns are the
+GROUP BY columns followed by the aggregates, in declaration order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.sql.binder import BoundColumn, BoundQuery
+
+
+def effective_projections(bound: BoundQuery) -> Tuple[BoundColumn, ...]:
+    """Projection set needed to evaluate the aggregates: the GROUP BY
+    columns plus every aggregate argument."""
+    out: List[BoundColumn] = list(bound.group_by)
+    for agg in bound.aggregates:
+        if agg.arg is not None and agg.arg not in out:
+            out.append(agg.arg)
+    return tuple(out)
+
+
+def apply_aggregates(bound: BoundQuery, proj_columns: Sequence[BoundColumn],
+                     rows: Sequence[Tuple]
+                     ) -> Tuple[List[str], List[Tuple]]:
+    """Fold projected rows into aggregate results."""
+    col_pos = {col: i for i, col in enumerate(proj_columns)}
+    group_pos = [col_pos[c] for c in bound.group_by]
+    names = [str(c) for c in bound.group_by]
+    for agg in bound.aggregates:
+        arg = f"({agg.arg})" if agg.arg else "(*)"
+        names.append(f"{agg.func}{arg}")
+
+    groups: Dict[Tuple, List[Tuple]] = {}
+    for row in rows:
+        key = tuple(row[p] for p in group_pos)
+        groups.setdefault(key, []).append(row)
+    if not bound.group_by and not groups:
+        groups[()] = []
+
+    out: List[Tuple] = []
+    for key in sorted(groups):
+        members = groups[key]
+        computed: List = list(key)
+        for agg in bound.aggregates:
+            computed.append(_one(agg.func,
+                                 None if agg.arg is None
+                                 else col_pos[agg.arg], members))
+        out.append(tuple(computed))
+    return names, out
+
+
+def _one(func: str, arg_pos, members: List[Tuple]):
+    if func == "COUNT":
+        return len(members)
+    values = [row[arg_pos] for row in members]
+    if not values:
+        return None
+    if func == "SUM":
+        return sum(values)
+    if func == "AVG":
+        return sum(values) / len(values)
+    if func == "MIN":
+        return min(values)
+    if func == "MAX":
+        return max(values)
+    raise PlanError(f"unknown aggregate {func!r}")  # pragma: no cover

@@ -1,0 +1,94 @@
+"""The Secure catalog: everything GhostDB persists on the token.
+
+For each table the token stores the *hidden image* (hidden non-fk
+attributes, row position == id), plus the fully indexed model of
+section 3.2: one Subtree Key Table per non-leaf table, a climbing
+index on each indexed hidden attribute, and a climbing index on each
+non-root table's id (used to climb Visible selections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PlanError
+from repro.hardware.token import SecureToken
+from repro.index.climbing import ClimbingIndex
+from repro.index.skt import SubtreeKeyTable
+from repro.schema.model import Column, Schema, Table
+from repro.storage.heap import HeapFile
+
+
+@dataclass
+class TableImage:
+    """The hidden side of one table."""
+
+    table: Table
+    n_rows: int
+    hidden_columns: List[Column]          # non-fk hidden attributes
+    heap: Optional[HeapFile]              # None when no hidden attributes
+
+    def hidden_positions(self, names: List[str]) -> List[int]:
+        pos = {c.name: i for i, c in enumerate(self.hidden_columns)}
+        return [pos[n] for n in names]
+
+
+class SecureCatalog:
+    """Lookup structure over the token-resident database."""
+
+    def __init__(self, schema: Schema, token: SecureToken):
+        self.schema = schema
+        self.token = token
+        self.images: Dict[str, TableImage] = {}
+        self.skts: Dict[str, SubtreeKeyTable] = {}
+        self.attr_indexes: Dict[Tuple[str, str], ClimbingIndex] = {}
+        self.id_indexes: Dict[str, ClimbingIndex] = {}
+
+    # ------------------------------------------------------------------
+    def image(self, table: str) -> TableImage:
+        try:
+            return self.images[table]
+        except KeyError:
+            raise PlanError(f"no hidden image loaded for {table!r}") from None
+
+    def n_rows(self, table: str) -> int:
+        return self.image(table).n_rows
+
+    def skt(self, table: str) -> SubtreeKeyTable:
+        try:
+            return self.skts[table]
+        except KeyError:
+            raise PlanError(f"table {table!r} has no SKT (leaf table?)") \
+                from None
+
+    def attr_index(self, table: str, column: str) -> ClimbingIndex:
+        try:
+            return self.attr_indexes[(table, column)]
+        except KeyError:
+            raise PlanError(
+                f"no climbing index on {table}.{column}; hidden "
+                f"selections require an index (fully indexed model)"
+            ) from None
+
+    def id_index(self, table: str) -> ClimbingIndex:
+        try:
+            return self.id_indexes[table]
+        except KeyError:
+            raise PlanError(f"no id climbing index for {table!r}") from None
+
+    # ------------------------------------------------------------------
+    def storage_report(self) -> Dict[str, int]:
+        """Flash bytes per component family (for documentation/tests)."""
+        report = {"hidden_images": 0, "skts": 0, "attr_indexes": 0,
+                  "id_indexes": 0}
+        for img in self.images.values():
+            if img.heap is not None:
+                report["hidden_images"] += img.heap.file.n_bytes
+        for skt in self.skts.values():
+            report["skts"] += skt.heap.file.n_bytes
+        for ci in self.attr_indexes.values():
+            report["attr_indexes"] += ci.storage_bytes()
+        for ci in self.id_indexes.values():
+            report["id_indexes"] += ci.storage_bytes()
+        return report

@@ -1,0 +1,220 @@
+"""Executor for the selection-join phase (QEPSJ) and result assembly.
+
+The global plan (paper Figure 6) is evaluated in two phases:
+
+* **QEPSJ** (here): hidden selections via climbing indexes, visible
+  selections via the per-table strategy (Pre/Post/Post-Select/NoFilter,
+  optionally Cross-filtered), a RAM-bounded ``Merge`` producing sorted
+  anchor IDs, and -- when any other table's IDs are needed -- a
+  pipelined ``SJoin -> ProbeBF -> Store`` pass over ``SKT(anchor)``.
+* **QEPP** (:mod:`repro.core.project`): the projection algorithm.
+
+The executor owns the cost-label discipline that the decomposition
+figures (15/16) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.catalog import SecureCatalog
+from repro.core.merge import MergeOperator
+from repro.core.operators import (
+    STORE_LABEL,
+    ExecContext,
+    PostSelectFilter,
+    op_build_bf,
+    op_ci,
+    op_ci_ids,
+    op_probe_bf,
+    op_sjoin,
+    op_store_columns,
+    op_vis,
+)
+from repro.core.plan import (
+    ProjectionMode,
+    QepSjResult,
+    QueryPlan,
+    VisPlan,
+    VisStrategy,
+)
+from repro.errors import PlanError
+from repro.hardware.token import SecureToken
+from repro.sql.binder import BoundQuery
+from repro.storage.runs import IdRun, U32FileBuilder, U32View
+from repro.untrusted.server import VisServer
+
+
+@dataclass
+class QueryStats:
+    """Simulated cost report for one executed query."""
+
+    total_s: float
+    by_operator: Dict[str, float]
+    counters: Dict[str, int]
+    bytes_to_secure: int
+    bytes_to_untrusted: int
+    ram_peak: int
+    result_rows: int
+
+    def operator_s(self, label: str) -> float:
+        return self.by_operator.get(label, 0.0)
+
+
+@dataclass
+class QueryResult:
+    columns: List[str]
+    rows: List[Tuple]
+    stats: QueryStats
+    plan: QueryPlan
+
+
+class QepSjExecutor:
+    """Runs the selection-join phase of one plan."""
+
+    def __init__(self, ctx: ExecContext):
+        self.ctx = ctx
+        self.merge = MergeOperator(ctx.store, ctx.ram)
+
+    # ------------------------------------------------------------------
+    def tables_needed_beyond_anchor(self, plan: QueryPlan) -> List[str]:
+        """Non-anchor tables whose IDs the QEPSJ result must carry."""
+        bound = plan.bound
+        needed: List[str] = []
+        for col in bound.projections:
+            source = self._projection_table(col)
+            if source != bound.anchor and source not in needed:
+                needed.append(source)
+        for table, vp in plan.vis_plans.items():
+            if table == bound.anchor:
+                continue
+            if vp.strategy in (VisStrategy.POST, VisStrategy.POST_SELECT,
+                               VisStrategy.NOFILTER):
+                if table not in needed:
+                    needed.append(table)
+        return needed
+
+    def _projection_table(self, col) -> str:
+        """Which table's ID column backs a projected column.
+
+        A projected foreign key ``P.fk -> C`` is exactly ``C``'s id in
+        the joined row, so it is served from ``C``'s column.
+        """
+        if col.column.is_foreign_key:
+            return col.column.references
+        return col.table
+
+    # ------------------------------------------------------------------
+    def _cross_runs_at(self, table: str) -> List[List[IdRun]]:
+        """Hidden selections usable for Cross filtering at ``table``:
+        those on the table itself or on its descendants (their climbing
+        indexes carry sublists for ``table``)."""
+        ctx = self.ctx
+        out: List[List[IdRun]] = []
+        for sel in ctx.bound.hidden_selections():
+            if ctx.catalog.schema.is_ancestor(table, sel.table):
+                out.append(op_ci(ctx, sel, table))
+        return out
+
+    def _vis_ids_after_cross(self, table: str, vp: VisPlan
+                             ) -> Tuple[List[int], bool]:
+        """The Vis ID list, intersected at ``table`` level when Cross."""
+        ctx = self.ctx
+        vis_ids = op_vis(ctx, table).ids
+        if not vp.cross:
+            return vis_ids, False
+        cross_groups = self._cross_runs_at(table)
+        if not cross_groups:
+            return vis_ids, False
+        groups = [[IdRun.memory(vis_ids)]] + cross_groups
+        reduced = list(self.merge.stream(groups, reserve_buffers=2))
+        return reduced, True
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: QueryPlan) -> QepSjResult:
+        ctx = self.ctx
+        bound = plan.bound
+        anchor = bound.anchor
+
+        groups: List[List[IdRun]] = []
+        post_blooms: List[Tuple[str, object]] = []
+        post_selects: List[Tuple[str, List[int]]] = []
+        approx: set[str] = set()
+        extra_tables = self.tables_needed_beyond_anchor(plan)
+        # a Post Bloom must leave RAM for the pipelined Merge -> SJoin ->
+        # Store pass; when it cannot get m=8n within that envelope its
+        # accuracy degrades smoothly (paper section 3.4)
+        pipeline_buffers = 4 + len(extra_tables)
+        bloom_budget = max(
+            1024,
+            ctx.ram.free_bytes - pipeline_buffers * ctx.token.page_size,
+        )
+
+        for sel in bound.hidden_selections():
+            groups.append(op_ci(ctx, sel, anchor))
+
+        for table, vp in plan.vis_plans.items():
+            ids, _crossed = self._vis_ids_after_cross(table, vp)
+            if table == anchor:
+                # anchor Vis IDs are already anchor IDs: free Pre-Filter
+                groups.append([IdRun.memory(ids)])
+                continue
+            if vp.strategy is VisStrategy.PRE:
+                groups.append(op_ci_ids(ctx, table, ids, anchor))
+            elif vp.strategy is VisStrategy.POST:
+                bf = op_build_bf(ctx, iter(ids), len(ids),
+                                 max_bytes=bloom_budget)
+                post_blooms.append((table, bf))
+                approx.add(table)
+            elif vp.strategy is VisStrategy.POST_SELECT:
+                post_selects.append((table, ids))
+            elif vp.strategy is VisStrategy.NOFILTER:
+                approx.add(table)
+
+        anchor_stream = self._anchor_stream(groups)
+
+        if not extra_tables:
+            view = self._materialize_anchor(anchor_stream)
+            for _, bf in post_blooms:
+                bf.free()
+            return QepSjResult(anchor=anchor, count=view.count,
+                               anchor_ids=view,
+                               columns={anchor: view},
+                               approx_tables=approx)
+
+        tuples: Iterator[Tuple[int, ...]] = op_sjoin(
+            ctx, anchor, anchor_stream, extra_tables
+        )
+        order = [anchor] + extra_tables
+        position = {t: i for i, t in enumerate(order)}
+        for table, bf in post_blooms:
+            tuples = op_probe_bf(ctx, bf, tuples, position[table])
+        columns, count = op_store_columns(ctx, tuples, order)
+        for _, bf in post_blooms:
+            bf.free()
+        for table, ids in post_selects:
+            columns, count = PostSelectFilter(ctx, ids).filter_columns(
+                columns, count, table
+            )
+        return QepSjResult(anchor=anchor, count=count,
+                           anchor_ids=columns[anchor], columns=columns,
+                           approx_tables=approx)
+
+    # ------------------------------------------------------------------
+    def _anchor_stream(self, groups: List[List[IdRun]]) -> Iterator[int]:
+        if groups:
+            # reserve: 1 SJoin page + output builders + slack
+            return self.merge.stream(groups, reserve_buffers=4)
+        # no restricting predicate at all: every anchor tuple qualifies
+        n = self.ctx.catalog.n_rows(self.ctx.bound.anchor)
+        return iter(range(n))
+
+    def _materialize_anchor(self, stream: Iterator[int]) -> U32View:
+        """Store the anchor ID list (the paper's ``Store`` cost)."""
+        ctx = self.ctx
+        builder = U32FileBuilder(ctx.store, ctx.ram, label="anchor ids")
+        with ctx.label(STORE_LABEL):
+            for value in stream:
+                builder.add(value)
+            return builder.finish()

@@ -1,0 +1,225 @@
+"""GhostDB public facade.
+
+Typical use::
+
+    from repro import GhostDB
+
+    db = GhostDB()
+    db.execute_ddl("CREATE TABLE Doctors (id int, specialty char(20), "
+                   "name char(20) HIDDEN)")
+    db.execute_ddl("CREATE TABLE Patients (id int, "
+                   "did int HIDDEN REFERENCES Doctors, age int, "
+                   "bodymassindex float HIDDEN)")
+    db.load("Doctors", [("Psychiatrist", "Freud"), ...])
+    db.load("Patients", [(0, 51, 27.5), ...])
+    db.build()
+    result = db.query("SELECT Patients.id FROM Patients, Doctors "
+                      "WHERE Patients.did = Doctors.id "
+                      "AND Doctors.specialty = 'Psychiatrist' "
+                      "AND Patients.bodymassindex > 25")
+    print(result.rows, result.stats.total_s)
+
+Everything hidden stays on the simulated secure token; the only bytes
+that ever leave it are the query texts (verifiable via
+``db.audit_outbound()``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.aggregate import apply_aggregates, effective_projections
+from repro.core.catalog import SecureCatalog
+from repro.core.executor import QepSjExecutor, QueryResult, QueryStats
+from repro.core.loader import Loader
+from repro.core.operators import ExecContext
+from repro.core.plan import ProjectionMode, QueryPlan
+from repro.core.planner import Planner, StrategyLike
+from repro.core.project import ProjectionExecutor
+from repro.core.reference import ReferenceEngine
+from repro.errors import GhostDBError, SchemaError
+from repro.hardware.token import SecureToken, TokenConfig
+from repro.schema.ddl import table_from_sql
+from repro.schema.model import Schema, Table
+from repro.sql.binder import Binder
+from repro.untrusted.engine import UntrustedEngine
+from repro.untrusted.server import VisServer
+
+
+class GhostDB:
+    """A GhostDB instance: one secure token plus one Untrusted engine."""
+
+    def __init__(self, config: Optional[TokenConfig] = None,
+                 indexed_columns: Optional[Dict[str, Sequence[str]]] = None):
+        self.token = SecureToken(config)
+        self._ddl_tables: List[Table] = []
+        self._indexed_columns = indexed_columns
+        self.schema: Optional[Schema] = None
+        self.untrusted: Optional[UntrustedEngine] = None
+        self.catalog: Optional[SecureCatalog] = None
+        self._loader: Optional[Loader] = None
+        self._binder: Optional[Binder] = None
+        self._vis_server: Optional[VisServer] = None
+        self._planner: Optional[Planner] = None
+        self._reference: Optional[ReferenceEngine] = None
+
+    # ------------------------------------------------------------------
+    # schema definition and loading
+    # ------------------------------------------------------------------
+    def execute_ddl(self, sql: str) -> None:
+        """Register one CREATE TABLE statement."""
+        if self.schema is not None:
+            raise SchemaError("schema already finalized (rows were loaded)")
+        self._ddl_tables.append(table_from_sql(sql))
+
+    def _finalize_schema(self) -> None:
+        if self.schema is None:
+            if not self._ddl_tables:
+                raise SchemaError("no tables declared")
+            self.schema = Schema(self._ddl_tables)
+            self.untrusted = UntrustedEngine(self.schema)
+            self._loader = Loader(self.schema, self.token, self.untrusted,
+                                  self._indexed_columns)
+            self._binder = Binder(self.schema)
+
+    def load(self, table: str, rows: Sequence[Tuple]) -> None:
+        """Queue rows for ``table`` (data columns only; ids are dense)."""
+        self._finalize_schema()
+        if self.catalog is not None:
+            raise SchemaError("database already built")
+        self._loader.add_rows(table, rows)
+
+    def build(self) -> None:
+        """Build hidden images, SKTs and climbing indexes on the token.
+
+        Loading happens over a secure provisioning channel, so the cost
+        ledger is reset afterwards: query costs start from zero.
+        """
+        self._finalize_schema()
+        if self.catalog is not None:
+            raise SchemaError("database already built")
+        self.catalog = self._loader.build()
+        self._vis_server = VisServer(self.untrusted, self.token)
+        self._planner = Planner(self.catalog, self._vis_server)
+        self._reference = ReferenceEngine(self.schema,
+                                          self.catalog.raw_rows)
+        self.token.reset_costs()
+
+    def _require_built(self) -> None:
+        if self.catalog is None:
+            raise GhostDBError("call build() before querying")
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def plan_query(self, sql: str,
+                   vis_strategy: StrategyLike = None,
+                   cross: Optional[bool] = None,
+                   projection: Union[str, ProjectionMode] = "project",
+                   ) -> QueryPlan:
+        """Bind and plan without executing."""
+        self._require_built()
+        bound = self._binder.bind_sql(sql)
+        if bound.is_aggregate:
+            bound = dataclasses.replace(
+                bound, projections=effective_projections(bound)
+            )
+        return self._planner.plan(bound, vis_strategy, cross, projection)
+
+    def explain(self, sql: str, **kwargs) -> str:
+        """Human-readable plan description."""
+        return self.plan_query(sql, **kwargs).describe()
+
+    def query(self, sql: str,
+              vis_strategy: StrategyLike = None,
+              cross: Optional[bool] = None,
+              projection: Union[str, ProjectionMode] = "project",
+              ) -> QueryResult:
+        """Execute a SELECT linking Visible and Hidden data.
+
+        ``vis_strategy`` forces Pre/Post/Post-Select/NoFilter for every
+        visible selection (``None`` = cost-based choice); ``cross``
+        toggles Cross-filtering; ``projection`` picks the projection
+        algorithm variant.
+        """
+        plan = self.plan_query(sql, vis_strategy, cross, projection)
+        return self.execute_plan(plan)
+
+    def execute_plan(self, plan: QueryPlan) -> QueryResult:
+        """Run an already-planned query and collect its cost report."""
+        self._require_built()
+        before = self.token.ledger.snapshot()
+        ram_peak_before = self.token.ram.peak_used
+        ch = self.token.channel.stats
+        in_before, out_before = ch.bytes_to_secure, ch.bytes_to_untrusted
+        # the query text itself is the one thing Secure reveals
+        with self.token.label("Vis"):
+            self.token.channel.to_untrusted(
+                max(1, len(plan.bound.sql)), kind="query",
+                description=plan.bound.sql[:80],
+            )
+        ctx = ExecContext(self.token, self.catalog, self._vis_server,
+                          plan.bound)
+        sj = QepSjExecutor(ctx).execute(plan)
+        try:
+            names, rows = ProjectionExecutor(ctx).execute(
+                sj, plan.projection_mode
+            )
+        finally:
+            sj.free()
+        if plan.bound.is_aggregate:
+            names, rows = apply_aggregates(plan.bound,
+                                           plan.bound.projections, rows)
+        after = self.token.ledger.snapshot()
+        stats = self._stats_between(before, after, rows)
+        stats.bytes_to_secure = ch.bytes_to_secure - in_before
+        stats.bytes_to_untrusted = ch.bytes_to_untrusted - out_before
+        stats.ram_peak = max(ram_peak_before, self.token.ram.peak_used)
+        return QueryResult(columns=names, rows=rows, stats=stats, plan=plan)
+
+    # ------------------------------------------------------------------
+    def _stats_between(self, before, after, rows) -> QueryStats:
+        by_op: Dict[str, float] = {}
+        for label, parts in after.time_us.items():
+            delta = sum(parts.values()) - sum(
+                before.time_us.get(label, {}).values()
+            )
+            if delta > 1e-12:
+                by_op[label] = delta / 1e6
+        counters = {
+            k: after.counters[k] - before.counters.get(k, 0)
+            for k in after.counters
+            if after.counters[k] != before.counters.get(k, 0)
+        }
+        return QueryStats(
+            total_s=sum(by_op.values()),
+            by_operator=by_op,
+            counters=counters,
+            bytes_to_secure=0,
+            bytes_to_untrusted=0,
+            ram_peak=0,
+            result_rows=len(rows),
+        )
+
+    # ------------------------------------------------------------------
+    # oracle, audit, reports
+    # ------------------------------------------------------------------
+    def reference_query(self, sql: str) -> Tuple[List[str], List[Tuple]]:
+        """Ground-truth evaluation (test oracle -- ignores the token)."""
+        self._require_built()
+        bound = self._binder.bind_sql(sql)
+        return self._reference.execute(bound)
+
+    def audit_outbound(self):
+        """Everything that ever left the Secure token."""
+        return self.token.channel.audit_outbound()
+
+    def storage_report(self) -> Dict[str, int]:
+        """Flash bytes per stored component family."""
+        self._require_built()
+        return self.catalog.storage_report()
+
+    def set_throughput(self, mbps: float) -> None:
+        """Change the simulated channel throughput (Figure 14)."""
+        self.token.set_throughput(mbps)

@@ -1,0 +1,189 @@
+"""The Merge operator: RAM-bounded CNF evaluation over sorted ID runs.
+
+``Merge`` computes ``(L1 ∩ L2 ... ∩ Lk)`` where each ``Li`` is itself a
+union of sorted sublists (``Li1 ∪ Li2 ∪ ...``) -- the shape produced by
+range predicates and by Vis-ID climbs.  All (sub)lists are sorted on
+the same IDs, so the whole expression streams with one RAM buffer per
+open sublist plus one output buffer.
+
+When the sublists outnumber the available buffers, a *reduction phase*
+(the paper's first alternative in section 3.4) pre-merges the smallest
+sublists of a group through flash temporaries until the remainder fits.
+Reduction is linear in the merged sublists' sizes, which is why the
+smallest ones are the best candidates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import PlanError
+from repro.flash.store import FlashStore
+from repro.hardware.ram import SecureRam
+from repro.storage.runs import IdRun, U32FileBuilder
+
+MERGE_LABEL = "Merge"
+
+
+def _dedupe(it: Iterator[int]) -> Iterator[int]:
+    prev = None
+    for x in it:
+        if x != prev:
+            yield x
+            prev = x
+
+
+def union_runs(runs: Sequence[IdRun], ram: Optional[SecureRam]
+               ) -> Iterator[int]:
+    """Stream the sorted, deduplicated union of ``runs``."""
+    if not runs:
+        return iter(())
+    iters = [run.iterate(ram, label="merge input") for run in runs]
+    return _dedupe(heapq.merge(*iters))
+
+
+def intersect_iters(iters: List[Iterator[int]]) -> Iterator[int]:
+    """Stream the intersection of sorted, deduplicated iterators."""
+    if not iters:
+        return
+    if len(iters) == 1:
+        yield from iters[0]
+        return
+    try:
+        heads = []
+        for it in iters:
+            heads.append(next(it))
+    except StopIteration:
+        _close_all(iters)
+        return
+    try:
+        while True:
+            top = max(heads)
+            matched = True
+            for i, it in enumerate(iters):
+                while heads[i] < top:
+                    heads[i] = next(it)
+                if heads[i] > top:
+                    matched = False
+            if matched:
+                yield top
+                for i, it in enumerate(iters):
+                    heads[i] = next(it)
+    except StopIteration:
+        return
+    finally:
+        _close_all(iters)
+
+
+def _close_all(iters: Iterable[Iterator]) -> None:
+    for it in iters:
+        close = getattr(it, "close", None)
+        if close:
+            close()
+
+
+class MergeOperator:
+    """Executes Merge expressions against one token's RAM and flash."""
+
+    def __init__(self, store: FlashStore, ram: SecureRam):
+        self.store = store
+        self.ram = ram
+        self.ledger = store.ftl.ledger
+        self.reductions = 0
+
+    # ------------------------------------------------------------------
+    def _reduce_group(self, runs: List[IdRun], fold: int) -> List[IdRun]:
+        """Merge the ``fold`` smallest flash runs of a group into one."""
+        flash = sorted(
+            (r for r in runs if r.buffers_needed > 0), key=lambda r: r.count
+        )
+        memory = [r for r in runs if r.buffers_needed == 0]
+        victims, rest = flash[:fold], flash[fold:]
+        with self.ledger.label(MERGE_LABEL):
+            builder = U32FileBuilder(self.store, self.ram,
+                                     label="merge reduce")
+            for value in _dedupe(heapq.merge(
+                    *(v.iterate(self.ram, label="merge reduce")
+                      for v in victims))):
+                builder.add(value)
+            view = builder.finish()
+        self.reductions += 1
+        return memory + rest + [IdRun.flash(view)]
+
+    def _fit_to_budget(self, groups: List[List[IdRun]],
+                       reserve_buffers: int) -> List[List[IdRun]]:
+        """Reduction phase: shrink run counts until buffers suffice."""
+        groups = [list(g) for g in groups]
+        while True:
+            needed = sum(r.buffers_needed for g in groups for r in g)
+            # the reserve is advisory: never starve Merge below one open
+            # run when RAM is physically available for it
+            budget = max(
+                self.ram.free_buffers - reserve_buffers,
+                min(1, self.ram.free_buffers),
+            )
+            if needed <= budget:
+                return groups
+            # reduce the group holding the most flash runs
+            target = max(
+                range(len(groups)),
+                key=lambda i: sum(r.buffers_needed for r in groups[i]),
+            )
+            n_flash = sum(r.buffers_needed for r in groups[target])
+            if n_flash < 2:
+                raise PlanError(
+                    "Merge cannot fit in RAM even after reduction "
+                    f"(budget {budget} buffers, reserve {reserve_buffers})"
+                )
+            # reduction itself needs fold inputs + 1 output buffer
+            fold = min(n_flash, max(2, self.ram.free_buffers - 1))
+            groups[target] = self._reduce_group(groups[target], fold)
+
+    # ------------------------------------------------------------------
+    def stream(self, groups: Sequence[Sequence[IdRun]],
+               reserve_buffers: int = 0) -> Iterator[int]:
+        """Stream the CNF ``AND over groups ( OR over runs )``.
+
+        ``reserve_buffers`` page buffers are left free for downstream
+        pipelined operators (SJoin pages, output builders, Blooms).
+        An empty group set is a contradiction-free no-op and yields
+        nothing -- callers handle the "no predicates" case themselves.
+        """
+        if not groups:
+            return iter(())
+        fitted = self._fit_to_budget(list(groups), reserve_buffers)
+        leaf_iters: List[Iterator[int]] = []
+        union_iters: List[Iterator[int]] = []
+        for g in fitted:
+            its = [run.iterate(self.ram, label="merge input") for run in g]
+            leaf_iters.extend(its)
+            union_iters.append(_dedupe(heapq.merge(*its)))
+
+        def run() -> Iterator[int]:
+            inner = intersect_iters(union_iters)
+            try:
+                while True:
+                    # charge input-scan I/O to the Merge label even when
+                    # a downstream operator (SJoin/Store) pulls the item
+                    with self.ledger.label(MERGE_LABEL):
+                        try:
+                            value = next(inner)
+                        except StopIteration:
+                            break
+                    yield value
+            finally:
+                # free the buffers of any leaf not read to exhaustion
+                _close_all(leaf_iters)
+
+        return run()
+
+    def to_flash(self, groups: Sequence[Sequence[IdRun]],
+                 reserve_buffers: int = 0):
+        """Materialize the Merge result as a flash-resident run view."""
+        builder = U32FileBuilder(self.store, self.ram, label="merge output")
+        stream = self.stream(groups, reserve_buffers=reserve_buffers + 1)
+        with self.ledger.label(MERGE_LABEL):
+            for value in stream:
+                builder.add(value)
+            return builder.finish()

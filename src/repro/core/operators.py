@@ -1,0 +1,257 @@
+"""Query execution primitives (paper section 3.3).
+
+Each operator charges its flash and channel traffic to a cost label so
+the executor can reproduce the paper's per-operator decomposition
+(Figures 15/16): ``Vis``, ``CI``, ``Merge``, ``SJoin``, ``Bloom``,
+``Store``, ``Project``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.catalog import SecureCatalog
+from repro.errors import PlanError
+from repro.hardware.token import SecureToken
+from repro.index.bloom import BloomFilter
+from repro.index.climbing import Predicate as IndexPredicate
+from repro.sql.binder import BoundQuery, BoundSelection
+from repro.storage.runs import IdRun, U32FileBuilder, U32View
+from repro.untrusted.engine import VisPredicate
+from repro.untrusted.server import VisRequest, VisResult, VisServer
+
+VIS_LABEL = "Vis"
+CI_LABEL = "CI"
+SJOIN_LABEL = "SJoin"
+BLOOM_LABEL = "Bloom"
+STORE_LABEL = "Store"
+PROJECT_LABEL = "Project"
+
+
+class ExecContext:
+    """Everything operators need: token, catalog, Vis server, query."""
+
+    def __init__(self, token: SecureToken, catalog: SecureCatalog,
+                 vis_server: VisServer, bound: BoundQuery):
+        self.token = token
+        self.catalog = catalog
+        self.vis = vis_server
+        self.bound = bound
+        self._vis_cache: Dict[Tuple[str, Tuple[str, ...]], VisResult] = {}
+
+    @property
+    def ram(self):
+        return self.token.ram
+
+    @property
+    def store(self):
+        return self.token.store
+
+    def label(self, name: str):
+        return self.token.label(name)
+
+
+# ---------------------------------------------------------------------------
+# Vis
+# ---------------------------------------------------------------------------
+
+def to_vis_predicates(selections: Sequence[BoundSelection]
+                      ) -> Tuple[VisPredicate, ...]:
+    """Convert bound visible selections to wire predicates."""
+    out = []
+    for s in selections:
+        p = s.predicate
+        out.append(VisPredicate(
+            column=s.column.name, op=p.op, value=p.value,
+            value2=p.value2,
+            values=tuple(p.values) if p.values is not None else None,
+        ))
+    return tuple(out)
+
+
+def op_vis(ctx: ExecContext, table: str,
+           columns: Sequence[str] = ()) -> VisResult:
+    """``Vis(Q, T, pi)``: fetch the visible selection of ``table``.
+
+    Results are cached per (table, columns): the paper notes the
+    redundant lookup in Cross-Post plans "can be easily avoided in
+    practice", and repeated identical Vis requests would be charged
+    twice otherwise.
+    """
+    key = (table, tuple(columns))
+    if key not in ctx._vis_cache:
+        preds = to_vis_predicates(ctx.bound.visible_selections(table))
+        with ctx.label(VIS_LABEL):
+            ctx._vis_cache[key] = ctx.vis.vis(
+                VisRequest(table, preds, tuple(columns))
+            )
+    return ctx._vis_cache[key]
+
+
+# ---------------------------------------------------------------------------
+# CI
+# ---------------------------------------------------------------------------
+
+def op_ci(ctx: ExecContext, selection: BoundSelection,
+          target: str) -> List[IdRun]:
+    """Climbing-index lookup of a hidden selection, targeting ``target``."""
+    index = ctx.catalog.attr_index(selection.table, selection.column.name)
+    with ctx.label(CI_LABEL):
+        views = index.lookup(selection.predicate, target, ctx.ram)
+    return [IdRun.flash(v) for v in views]
+
+
+def op_ci_ids(ctx: ExecContext, table: str, ids: Sequence[int],
+              target: str) -> List[IdRun]:
+    """Climb a list of ``table`` IDs to ``target`` via the id index.
+
+    This is Pre-Filter's expensive step: one index descent per ID.
+    """
+    index = ctx.catalog.id_index(table)
+    with ctx.label(CI_LABEL):
+        views = index.lookup(
+            IndexPredicate("in", values=list(ids)), target, ctx.ram
+        )
+    return [IdRun.flash(v) for v in views]
+
+
+# ---------------------------------------------------------------------------
+# SJoin
+# ---------------------------------------------------------------------------
+
+def op_sjoin(ctx: ExecContext, anchor: str, anchor_ids: Iterable[int],
+             tables: Sequence[str]) -> Iterator[Tuple[int, ...]]:
+    """Key semi-join of sorted anchor IDs against ``SKT(anchor)``.
+
+    Yields ``(anchor_id, id_of_tables[0], ...)``.  The SKT is walked in
+    id order; pages containing no qualifying row are skipped, which is
+    why Pre-Filter pays less I/O here at high selectivity and why the
+    benefit vanishes once most pages hold a match (sV > ~0.1).
+    Holds one RAM buffer for the current SKT page.
+    """
+    skt = ctx.catalog.skt(anchor)
+    positions = skt.column_positions(tables)
+    buf = ctx.ram.alloc_buffer("sjoin page")
+    try:
+        cur_page = -1
+        rows: Dict[int, Tuple[int, ...]] = {}
+        for aid in anchor_ids:
+            with ctx.label(SJOIN_LABEL):
+                page = skt.heap.page_of_row(aid)
+                if page != cur_page:
+                    rows = dict(skt.heap.read_rows_on_page(page))
+                    cur_page = page
+            row = rows[aid]
+            yield (aid, *(row[p] for p in positions))
+    finally:
+        buf.free()
+
+
+# ---------------------------------------------------------------------------
+# Bloom filters
+# ---------------------------------------------------------------------------
+
+def op_build_bf(ctx: ExecContext, ids: Iterable[int], n_items: int,
+                max_bytes: Optional[int] = None,
+                label: str = BLOOM_LABEL) -> BloomFilter:
+    """``BuildBF``: Bloom filter over an ID stream (RAM-resident)."""
+    with ctx.label(label):
+        bf = BloomFilter(ctx.ram, n_items, max_bytes=max_bytes,
+                         label="post-filter bloom")
+        bf.add_all(ids)
+    return bf
+
+
+def op_probe_bf(ctx: ExecContext, bf: BloomFilter,
+                tuples: Iterator[Tuple[int, ...]],
+                position: int) -> Iterator[Tuple[int, ...]]:
+    """``ProbeBF``: keep tuples whose ``position``-th id may be in ``bf``."""
+    for tup in tuples:
+        if tup[position] in bf:
+            yield tup
+
+
+# ---------------------------------------------------------------------------
+# Store (materialization of the QEPSJ result, vertically partitioned)
+# ---------------------------------------------------------------------------
+
+def op_store_columns(ctx: ExecContext, tuples: Iterator[Tuple[int, ...]],
+                     tables: Sequence[str]
+                     ) -> Tuple[Dict[str, U32View], int]:
+    """Materialize a tuple stream as one U32 column file per table.
+
+    The QEPSJ result is vertically partitioned "to avoid repetitive
+    reads of unnecessary columns" during projection; all columns are in
+    the same (anchor-id) order and have the same cardinality.
+    """
+    builders = [
+        U32FileBuilder(ctx.store, ctx.ram, label=f"store {t}")
+        for t in tables
+    ]
+    count = 0
+    with ctx.label(STORE_LABEL):
+        for tup in tuples:
+            for value, builder in zip(tup, builders):
+                builder.add(value)
+            count += 1
+        views = {t: b.finish() for t, b in zip(tables, builders)}
+    return views, count
+
+
+# ---------------------------------------------------------------------------
+# Post-Select (exact alternative to Post-Filter, Figure 11)
+# ---------------------------------------------------------------------------
+
+class PostSelectFilter:
+    """Exact post-selection: chunk the Vis IDs through RAM.
+
+    Each chunk requires a full pass over the materialized SJoin output,
+    which is why Post-Select degrades so much faster than Bloom-based
+    Post-Filter as the Visible selectivity drops.
+    """
+
+    def __init__(self, ctx: ExecContext, ids: List[int],
+                 reserve_bytes: int = 8192):
+        self.ctx = ctx
+        self.ids = ids
+        self.chunk_bytes = max(4096, ctx.ram.free_bytes - reserve_bytes)
+        self.chunk_size = max(1, self.chunk_bytes // 4)
+
+    @property
+    def n_passes(self) -> int:
+        if not self.ids:
+            return 1
+        return -(-len(self.ids) // self.chunk_size)
+
+    def filter_columns(self, columns: Dict[str, U32View], count: int,
+                       table: str) -> Tuple[Dict[str, U32View], int]:
+        """Rewrite the stored columns keeping rows whose ``table`` id is
+        (exactly) in the Vis ID list."""
+        ctx = self.ctx
+        tables = list(columns)
+        for pass_no in range(self.n_passes):
+            chunk = set(
+                self.ids[pass_no * self.chunk_size:
+                         (pass_no + 1) * self.chunk_size]
+            )
+            with ctx.ram.reserve(len(chunk) * 4, "post-select chunk"):
+                keep: List[bool] = []
+                with ctx.label(PROJECT_LABEL):
+                    for value in columns[table].iterate(ctx.ram):
+                        keep.append(value in chunk)
+                if pass_no == 0:
+                    survivors = keep
+                else:
+                    survivors = [a or b for a, b in zip(survivors, keep)]
+        builders = [
+            U32FileBuilder(ctx.store, ctx.ram, label="post-select out")
+            for _ in tables
+        ]
+        with ctx.label(PROJECT_LABEL):
+            for t, b in zip(tables, builders):
+                for i, value in enumerate(columns[t].iterate(ctx.ram)):
+                    if survivors[i]:
+                        b.add(value)
+            views = {t: b.finish() for t, b in zip(tables, builders)}
+        new_count = sum(survivors)
+        return views, new_count

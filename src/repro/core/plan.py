@@ -1,0 +1,111 @@
+"""Plan representation: per-predicate strategies and QEP structures.
+
+The planner assigns every *Visible* selection one of the paper's
+strategies (section 3.3 / figure 6):
+
+* ``PRE``  -- Pre-Filter: climb the Vis IDs through the ``Ti.id``
+  climbing index and merge them with the hidden groups at the anchor.
+* ``POST`` -- Post-Filter: build a Bloom filter over the Vis IDs and
+  probe the SJoin output.
+* ``POST_SELECT`` -- exact post-selection: keep the Vis ID list and
+  filter the SJoin output in (possibly many) exact passes.
+* ``NOFILTER`` -- postpone the selection entirely to projection time.
+
+Each strategy can additionally be *Cross-filtered*: the Vis IDs are
+first intersected with the hidden selections' sublists at the Vis
+table's own level, shrinking whatever the strategy consumes.
+
+Hidden selections always go through climbing-index lookups.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sql.binder import BoundQuery
+from repro.storage.runs import U32View
+
+
+class VisStrategy(enum.Enum):
+    PRE = "pre"
+    POST = "post"
+    POST_SELECT = "post-select"
+    NOFILTER = "nofilter"
+
+
+@dataclass
+class VisPlan:
+    """How one table's visible selection is folded into the QEPSJ."""
+
+    table: str
+    strategy: VisStrategy
+    cross: bool = False
+
+    def describe(self) -> str:
+        prefix = "Cross-" if self.cross else ""
+        names = {
+            VisStrategy.PRE: "Pre-Filter",
+            VisStrategy.POST: "Post-Filter",
+            VisStrategy.POST_SELECT: "Post-Select",
+            VisStrategy.NOFILTER: "NoFilter",
+        }
+        return prefix + names[self.strategy]
+
+
+class ProjectionMode(enum.Enum):
+    PROJECT = "project"          # the paper's Project algorithm (Fig. 5)
+    PROJECT_NOBF = "project-nobf"  # Project without Bloom pre-filtering
+    BRUTE_FORCE = "brute-force"  # random accesses per QEPSJ result row
+
+
+@dataclass
+class QueryPlan:
+    """A fully decided execution plan for one bound query."""
+
+    bound: BoundQuery
+    vis_plans: Dict[str, VisPlan] = field(default_factory=dict)
+    projection_mode: ProjectionMode = ProjectionMode.PROJECT
+
+    def describe(self) -> str:
+        """Human-readable plan summary (the ``explain`` output)."""
+        lines = [f"anchor: {self.bound.anchor}"]
+        for sel in self.bound.hidden_selections():
+            lines.append(
+                f"hidden {sel.table}.{sel.column.name}: climbing index"
+            )
+        for table, vp in self.vis_plans.items():
+            lines.append(f"visible {table}: {vp.describe()}")
+        lines.append(f"projection: {self.projection_mode.value}")
+        return "\n".join(lines)
+
+
+@dataclass
+class QepSjResult:
+    """Output of the selection-join phase (QEPSJ).
+
+    ``anchor_ids`` is the sorted list/view of anchor-table IDs.  When an
+    SJoin was performed, ``columns`` holds one U32 column per reached
+    table (including the anchor, at result position order) of identical
+    cardinality ``count``.  ``approx_tables`` are tables whose
+    membership was Bloom-filtered (false positives possible) or not
+    filtered at all -- projection must eliminate them exactly.
+    """
+
+    anchor: str
+    count: int
+    anchor_ids: Optional[U32View] = None
+    columns: Optional[Dict[str, U32View]] = None
+    approx_tables: Set[str] = field(default_factory=set)
+
+    def free(self) -> None:
+        """Release temporary flash files held by the result."""
+        files = set()
+        if self.anchor_ids is not None:
+            files.add(self.anchor_ids.file)
+        if self.columns:
+            for view in self.columns.values():
+                files.add(view.file)
+        for f in files:
+            f.free()

@@ -1,0 +1,130 @@
+"""Strategy selection for Visible predicates.
+
+The paper leaves a cost-based optimizer to future work but its
+experiments chart the decision surface precisely:
+
+* Pre-Filter wins at high selectivity; its SJoin page-skipping benefit
+  vanishes once sV exceeds ~0.1 (Figures 9/15), where Post-Filter wins.
+* A Bloom post-filter stops paying off beyond sV ~= 0.5 -- it would
+  introduce more false positives than it eliminates -- at which point
+  the selection is postponed to projection time (NoFilter, Figure 10).
+* Cross-filtering helps whenever a hidden selection exists on the same
+  table or a descendant, "whatever the selectivity" (Figure 8), so it
+  is on by default when available.
+
+``Planner`` implements exactly those rules, probing Untrusted with a
+count-only Vis request (query-derived, hence leak-free) to estimate
+selectivity; explicit overrides reproduce the paper's fixed-strategy
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.core.catalog import SecureCatalog
+from repro.core.operators import to_vis_predicates
+from repro.core.plan import ProjectionMode, QueryPlan, VisPlan, VisStrategy
+from repro.errors import PlanError
+from repro.sql.binder import BoundQuery
+from repro.untrusted.server import VisServer
+
+#: selectivity above which Pre-Filter loses its SJoin page-skipping edge
+PRE_FILTER_LIMIT = 0.1
+#: selectivity above which a Bloom filter hurts more than it helps
+POST_FILTER_LIMIT = 0.5
+
+StrategyLike = Union[str, VisStrategy, None]
+
+
+def _coerce_strategy(value: StrategyLike) -> Optional[VisStrategy]:
+    if value is None or isinstance(value, VisStrategy):
+        return value
+    try:
+        return VisStrategy(value)
+    except ValueError:
+        names = [s.value for s in VisStrategy]
+        raise PlanError(
+            f"unknown strategy {value!r}; expected one of {names}"
+        ) from None
+
+
+def _coerce_mode(value: Union[str, ProjectionMode]) -> ProjectionMode:
+    if isinstance(value, ProjectionMode):
+        return value
+    try:
+        return ProjectionMode(value)
+    except ValueError:
+        names = [m.value for m in ProjectionMode]
+        raise PlanError(
+            f"unknown projection mode {value!r}; expected one of {names}"
+        ) from None
+
+
+class Planner:
+    """Builds :class:`QueryPlan` objects for bound queries."""
+
+    def __init__(self, catalog: SecureCatalog, vis_server: VisServer):
+        self.catalog = catalog
+        self.vis = vis_server
+
+    # ------------------------------------------------------------------
+    def _cross_available(self, bound: BoundQuery, table: str) -> bool:
+        """Cross filtering needs a hidden selection on ``table`` or on a
+        descendant (their climbing indexes can deliver ``table`` IDs)."""
+        schema = self.catalog.schema
+        return any(
+            schema.is_ancestor(table, sel.table)
+            for sel in bound.hidden_selections()
+        )
+
+    def _estimate_selectivity(self, bound: BoundQuery, table: str) -> float:
+        preds = to_vis_predicates(bound.visible_selections(table))
+        with self.catalog.token.label("Plan"):
+            count = self.vis.count(table, preds)
+        total = max(1, self.catalog.n_rows(table))
+        return count / total
+
+    def _auto_strategy(self, selectivity: float) -> VisStrategy:
+        if selectivity <= PRE_FILTER_LIMIT:
+            return VisStrategy.PRE
+        if selectivity <= POST_FILTER_LIMIT:
+            return VisStrategy.POST
+        return VisStrategy.NOFILTER
+
+    # ------------------------------------------------------------------
+    def plan(self, bound: BoundQuery,
+             vis_strategy: StrategyLike = None,
+             cross: Optional[bool] = None,
+             projection: Union[str, ProjectionMode] = ProjectionMode.PROJECT,
+             ) -> QueryPlan:
+        """Decide strategies for every table carrying visible selections.
+
+        ``vis_strategy``/``cross`` force one choice for all tables (the
+        paper's experiments do this); ``None`` means cost-based.
+        """
+        override = _coerce_strategy(vis_strategy)
+        vis_plans: Dict[str, VisPlan] = {}
+        tables_with_vis = []
+        for sel in bound.visible_selections():
+            if sel.table not in tables_with_vis:
+                tables_with_vis.append(sel.table)
+        for table in tables_with_vis:
+            use_cross = (self._cross_available(bound, table)
+                         if cross is None else
+                         (cross and self._cross_available(bound, table)))
+            if table == bound.anchor:
+                # anchor Vis IDs are anchor IDs already: plain merge input
+                vis_plans[table] = VisPlan(table, VisStrategy.PRE, use_cross)
+                continue
+            if override is not None:
+                vis_plans[table] = VisPlan(table, override, use_cross)
+                continue
+            selectivity = self._estimate_selectivity(bound, table)
+            vis_plans[table] = VisPlan(
+                table, self._auto_strategy(selectivity), use_cross
+            )
+        return QueryPlan(
+            bound=bound, vis_plans=vis_plans,
+            projection_mode=_coerce_mode(projection),
+        )

@@ -1,0 +1,426 @@
+"""The projection phase (QEPP): the paper's Project algorithm (Fig. 5).
+
+Distinctive constraints (section 4): Untrusted sends many attribute
+values that will not survive the hidden predicates; Bloom-based
+post-filtering leaves false positives in the QEPSJ result; and RAM is
+tiny.  The Project algorithm therefore:
+
+1. works table by table over the vertically partitioned QEPSJ result,
+2. Bloom-filters the irrelevant values sent by Untrusted (``sigma_VH``),
+3. builds ``<pos, vlist, hlist>`` tuples per table with the multi-pass
+   ``MJoin`` bounded by RAM,
+4. merges everything back position-ordered, which also eliminates all
+   remaining false positives exactly.
+
+Two comparison variants from Figures 12/13 are implemented alongside:
+``Project-NoBF`` (step 2 disabled) and ``Brute-Force`` (random flash
+accesses per QEPSJ result row).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.operators import (
+    PROJECT_LABEL,
+    SJOIN_LABEL,
+    STORE_LABEL,
+    ExecContext,
+    op_sjoin,
+    op_store_columns,
+    op_vis,
+)
+from repro.core.plan import ProjectionMode, QepSjResult
+from repro.errors import PlanError
+from repro.index.bloom import BloomFilter
+from repro.sql.binder import BoundColumn
+from repro.storage.codec import IntType, RowCodec
+from repro.storage.heap import HeapFile
+from repro.untrusted.server import VisResult
+
+
+class _SortedCursor:
+    """Peekable cursor over a sorted (pos, values...) row stream."""
+
+    __slots__ = ("_it", "head")
+
+    def __init__(self, it: Iterator[Tuple]):
+        self._it = it
+        self.head: Optional[Tuple] = None
+        self.advance()
+
+    def advance(self) -> None:
+        self.head = next(self._it, None)
+
+
+class _HiddenFetcher:
+    """Page-skipping random access to a hidden image, in id order."""
+
+    def __init__(self, ctx: ExecContext, table: str, columns: List[str]):
+        self.image = ctx.catalog.image(table)
+        self.positions = (self.image.hidden_positions(columns)
+                          if columns else [])
+        self.columns = columns
+        self._page = -1
+        self._rows: Dict[int, Tuple] = {}
+
+    def fetch(self, rid: int) -> Tuple:
+        if not self.columns:
+            return ()
+        heap = self.image.heap
+        page = heap.page_of_row(rid)
+        if page != self._page:
+            self._rows = dict(heap.read_rows_on_page(page, self.positions))
+            self._page = page
+        return self._rows[rid]
+
+
+class ProjectionExecutor:
+    """Executes QEPP over one QEPSJ result."""
+
+    def __init__(self, ctx: ExecContext):
+        self.ctx = ctx
+        self.bound = ctx.bound
+        self.anchor = ctx.bound.anchor
+
+    # ------------------------------------------------------------------
+    # projection source analysis
+    # ------------------------------------------------------------------
+    def _source_of(self, col: BoundColumn) -> Tuple:
+        """Classify a projected column: ('id', t) | ('vis'|'hid', t, name)."""
+        if col.column.is_id:
+            return ("id", col.table)
+        if col.column.is_foreign_key:
+            return ("id", col.column.references)
+        if col.column.hidden:
+            return ("hid", col.table, col.column.name)
+        return ("vis", col.table, col.column.name)
+
+    def _tables_with_values(self) -> Dict[str, Dict[str, List[str]]]:
+        """Per table: which vis/hid attribute names are projected."""
+        out: Dict[str, Dict[str, List[str]]] = {}
+        for col in self.bound.projections:
+            src = self._source_of(col)
+            if src[0] == "id":
+                continue
+            kind, table, name = src
+            entry = out.setdefault(table, {"vis": [], "hid": []})
+            if name not in entry[kind]:
+                entry[kind].append(name)
+        return out
+
+    # ------------------------------------------------------------------
+    def execute(self, sj: QepSjResult, mode: ProjectionMode
+                ) -> Tuple[List[str], List[Tuple]]:
+        names = [str(c) for c in self.bound.projections]
+        if sj.count == 0:
+            return names, []
+        sj = self._ensure_columns(sj)
+        if mode is ProjectionMode.BRUTE_FORCE:
+            return names, self._brute_force(sj)
+        per_table = self._tables_with_values()
+        mjoined = set(per_table) | set(sj.approx_tables)
+        mjoined.discard(self.anchor)
+        pass_heaps: Dict[str, List[HeapFile]] = {}
+        value_types: Dict[str, List] = {}
+        for table in sorted(mjoined):
+            attrs = per_table.get(table, {"vis": [], "hid": []})
+            heaps, types = self._mjoin_table(sj, table, attrs["vis"],
+                                             attrs["hid"], mode)
+            pass_heaps[table] = heaps
+            value_types[table] = types
+        rows = self._final_join(sj, per_table, pass_heaps)
+        for heaps in pass_heaps.values():
+            for h in heaps:
+                h.free()
+        return names, rows
+
+    # ------------------------------------------------------------------
+    def _ensure_columns(self, sj: QepSjResult) -> QepSjResult:
+        """Fig. 5 line 1: SJoin for tables the QEPSJ did not reach yet."""
+        needed = {t for t in self._tables_with_values() if t != self.anchor}
+        for col in self.bound.projections:
+            src = self._source_of(col)
+            if src[0] == "id" and src[1] != self.anchor:
+                needed.add(src[1])
+        have = set(sj.columns or ())
+        missing = [t for t in sorted(needed) if t not in have]
+        if not missing:
+            return sj
+        ctx = self.ctx
+        anchor_iter = sj.anchor_ids.iterate(ctx.ram, label="anchor ids")
+        tuples = op_sjoin(ctx, self.anchor, anchor_iter, missing)
+        columns, count = op_store_columns(ctx, tuples,
+                                          [self.anchor] + missing)
+        new_columns = dict(sj.columns or {})
+        new_columns.update(columns)
+        new_columns[self.anchor] = columns[self.anchor]
+        return QepSjResult(anchor=sj.anchor, count=count,
+                           anchor_ids=columns[self.anchor],
+                           columns=new_columns,
+                           approx_tables=set(sj.approx_tables))
+
+    # ------------------------------------------------------------------
+    # MJoin
+    # ------------------------------------------------------------------
+    def _sigma_vh(self, sj: QepSjResult, table: str, vis: VisResult,
+                  use_bloom: bool) -> List[Tuple]:
+        """Fig. 5 lines 3-4: Bloom-filter the irrelevant Vis rows."""
+        ctx = self.ctx
+        if not use_bloom:
+            return list(vis.rows)
+        with ctx.label(PROJECT_LABEL):
+            reserve = 4 * ctx.token.page_size
+            bf = BloomFilter(ctx.ram, sj.count,
+                             max_bytes=max(1024,
+                                           ctx.ram.free_bytes - reserve),
+                             label="project bloom")
+            bf.add_all(sj.columns[table].iterate(ctx.ram, "qepsj column"))
+            filtered = [row for row in vis.rows if row[0] in bf]
+            bf.free()
+        return filtered
+
+    def _mjoin_table(self, sj: QepSjResult, table: str,
+                     vis_cols: List[str], hid_cols: List[str],
+                     mode: ProjectionMode
+                     ) -> Tuple[List[HeapFile], List]:
+        """Fig. 5 lines 5-6: build sorted ``<pos, values...>`` runs."""
+        ctx = self.ctx
+        schema_table = ctx.catalog.schema.table(table)
+        vis_types = [schema_table.column(c).type for c in vis_cols]
+        hid_types = [schema_table.column(c).type for c in hid_cols]
+        has_vis_side = bool(vis_cols) or bool(
+            self.bound.visible_selections(table))
+
+        fetcher = _HiddenFetcher(ctx, table, hid_cols)
+        if has_vis_side:
+            vis = op_vis(ctx, table, tuple(vis_cols))
+            rows = self._sigma_vh(sj, table, vis,
+                                  use_bloom=mode is ProjectionMode.PROJECT)
+            with ctx.label(PROJECT_LABEL):
+                candidates = [
+                    (row[0], *row[1:], *fetcher.fetch(row[0]))
+                    for row in rows
+                ]
+        else:
+            # hidden-only projection: sequential scan of the image
+            with ctx.label(PROJECT_LABEL):
+                img = ctx.catalog.image(table)
+                positions = img.hidden_positions(hid_cols)
+                candidates = [
+                    (rid, *row)
+                    for rid, row in enumerate(img.heap.scan(positions))
+                ]
+
+        entry_bytes = 4 + sum(t.width for t in vis_types + hid_types)
+        codec = RowCodec([IntType(4)] + vis_types + hid_types)
+        chunk_capacity = max(
+            1,
+            (ctx.ram.free_bytes - 2 * ctx.token.page_size) // entry_bytes,
+        )
+        heaps: List[HeapFile] = []
+        column = sj.columns[table]
+        pass_no = 0
+        for start in range(0, max(len(candidates), 1), chunk_capacity):
+            chunk_rows = candidates[start:start + chunk_capacity]
+            chunk = {row[0]: row[1:] for row in chunk_rows}
+            with ctx.ram.reserve(len(chunk_rows) * entry_bytes,
+                                 "mjoin chunk"):
+                with ctx.label(PROJECT_LABEL):
+                    out_rows = [
+                        (pos, *chunk[rid])
+                        for pos, rid in enumerate(
+                            column.iterate(ctx.ram, "qepsj column"))
+                        if rid in chunk
+                    ]
+                    heaps.append(HeapFile.build(
+                        ctx.store, f"__mjoin_{table}_{id(self)}_{pass_no}",
+                        codec, out_rows, ctx.token.page_size,
+                    ))
+            pass_no += 1
+        return heaps, vis_types + hid_types
+
+    # ------------------------------------------------------------------
+    # final position-ordered join (Fig. 5 line 7)
+    # ------------------------------------------------------------------
+    def _final_join(self, sj: QepSjResult,
+                    per_table: Dict[str, Dict[str, List[str]]],
+                    pass_heaps: Dict[str, List[HeapFile]]
+                    ) -> List[Tuple]:
+        ctx = self.ctx
+        anchor = self.anchor
+        anchor_attrs = per_table.get(anchor, {"vis": [], "hid": []})
+
+        # anchor-side streams (all ordered by anchor id == position order)
+        anchor_vis_map: Dict[int, Tuple] = {}
+        if anchor_attrs["vis"]:
+            vis = op_vis(ctx, anchor, tuple(anchor_attrs["vis"]))
+            anchor_vis_map = {row[0]: row[1:] for row in vis.rows}
+        anchor_fetcher = _HiddenFetcher(ctx, anchor, anchor_attrs["hid"])
+
+        cursors: Dict[str, _SortedCursor] = {}
+        with ctx.label(PROJECT_LABEL):
+            for table, heaps in pass_heaps.items():
+                scans = [h.scan() for h in heaps]
+                cursors[table] = _SortedCursor(heapq.merge(*scans))
+
+        # id columns consumed position-by-position
+        id_iters: Dict[str, Iterator[int]] = {}
+        for col in self.bound.projections:
+            src = self._source_of(col)
+            if src[0] == "id" and src[1] != anchor:
+                t = src[1]
+                if t not in id_iters:
+                    id_iters[t] = sj.columns[t].iterate(ctx.ram, "id column")
+
+        # value position map for assembly
+        val_pos: Dict[Tuple[str, str], int] = {}
+        for table, attrs in per_table.items():
+            if table == anchor:
+                continue
+            for i, name in enumerate(attrs["vis"] + attrs["hid"]):
+                val_pos[(table, name)] = i
+
+        rows: List[Tuple] = []
+        anchor_iter = sj.anchor_ids.iterate(ctx.ram, "anchor ids")
+        with ctx.label(PROJECT_LABEL):
+            for pos, aid in enumerate(anchor_iter):
+                table_vals: Dict[str, Tuple] = {}
+                alive = True
+                for table, cursor in cursors.items():
+                    head = cursor.head
+                    if head is not None and head[0] == pos:
+                        table_vals[table] = head[1:]
+                        cursor.advance()
+                    else:
+                        alive = False
+                ids_here = {t: next(it) for t, it in id_iters.items()}
+                if anchor_attrs["vis"]:
+                    if aid in anchor_vis_map:
+                        anchor_vis = anchor_vis_map[aid]
+                    else:
+                        alive = False
+                        anchor_vis = ()
+                else:
+                    anchor_vis = ()
+                if not alive:
+                    continue
+                anchor_hid = anchor_fetcher.fetch(aid)
+                rows.append(self._assemble(
+                    aid, ids_here, table_vals, anchor_attrs, anchor_vis,
+                    anchor_hid, val_pos,
+                ))
+        return rows
+
+    def _assemble(self, aid: int, ids_here: Dict[str, int],
+                  table_vals: Dict[str, Tuple],
+                  anchor_attrs: Dict[str, List[str]],
+                  anchor_vis: Tuple, anchor_hid: Tuple,
+                  val_pos: Dict[Tuple[str, str], int]) -> Tuple:
+        out: List = []
+        for col in self.bound.projections:
+            src = self._source_of(col)
+            if src[0] == "id":
+                out.append(aid if src[1] == self.anchor
+                           else ids_here[src[1]])
+                continue
+            kind, table, name = src
+            if table == self.anchor:
+                if kind == "vis":
+                    out.append(anchor_vis[anchor_attrs["vis"].index(name)])
+                else:
+                    out.append(anchor_hid[anchor_attrs["hid"].index(name)])
+            else:
+                out.append(table_vals[table][val_pos[(table, name)]])
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Brute-Force (Figures 12/13 baseline)
+    # ------------------------------------------------------------------
+    def _brute_force(self, sj: QepSjResult) -> List[Tuple]:
+        """Random accesses per QEPSJ row, after materializing Vis data.
+
+        Visible values are first written to flash (full-width rows at id
+        positions) and then, like the hidden values, fetched by random
+        point reads for every QEPSJ result row.
+        """
+        ctx = self.ctx
+        per_table = self._tables_with_values()
+        needed = set(per_table) | set(sj.approx_tables)
+
+        vis_heaps: Dict[str, HeapFile] = {}
+        vis_flags: Dict[str, List[bool]] = {}
+        hid_positions: Dict[str, List[int]] = {}
+        with ctx.label(PROJECT_LABEL):
+            for table in sorted(needed):
+                attrs = per_table.get(table, {"vis": [], "hid": []})
+                hid_positions[table] = (
+                    ctx.catalog.image(table).hidden_positions(attrs["hid"])
+                    if attrs["hid"] else []
+                )
+                has_vis = bool(attrs["vis"]) or bool(
+                    self.bound.visible_selections(table))
+                if not has_vis:
+                    continue
+                vis = op_vis(ctx, table, tuple(attrs["vis"]))
+                schema_table = ctx.catalog.schema.table(table)
+                types = [schema_table.column(c).type for c in attrs["vis"]]
+                n = ctx.catalog.n_rows(table)
+                flags = [False] * n
+                values: Dict[int, Tuple] = {}
+                for row in vis.rows:
+                    flags[row[0]] = True
+                    values[row[0]] = row[1:]
+                defaults = tuple(
+                    0 if not hasattr(t, "size") or isinstance(t, IntType)
+                    else ("" if hasattr(t, "size") else 0.0)
+                    for t in types
+                )
+                codec = RowCodec(types) if types else None
+                if codec:
+                    vis_heaps[table] = HeapFile.build(
+                        ctx.store, f"__bf_vis_{table}_{id(self)}", codec,
+                        (values.get(i, defaults) for i in range(n)),
+                        ctx.token.page_size,
+                    )
+                vis_flags[table] = flags
+
+        rows: List[Tuple] = []
+        iters = {t: sj.columns[t].iterate(ctx.ram, "qepsj column")
+                 for t in sj.columns}
+        with ctx.label(PROJECT_LABEL):
+            for pos in range(sj.count):
+                current = {t: next(it) for t, it in iters.items()}
+                aid = current[self.anchor]
+                alive = True
+                assembled: Dict[Tuple[str, str], object] = {}
+                for table in sorted(needed):
+                    rid = current[table] if table in current else aid
+                    if table in vis_flags and not vis_flags[table][rid]:
+                        alive = False
+                        break
+                    attrs = per_table.get(table, {"vis": [], "hid": []})
+                    if table in vis_heaps and attrs["vis"]:
+                        vvals = vis_heaps[table].get_row(rid)
+                        for name, v in zip(attrs["vis"], vvals):
+                            assembled[(table, name)] = v
+                    if attrs["hid"]:
+                        hvals = ctx.catalog.image(table).heap.get_columns(
+                            rid, hid_positions[table]
+                        )
+                        for name, v in zip(attrs["hid"], hvals):
+                            assembled[(table, name)] = v
+                if not alive:
+                    continue
+                out: List = []
+                for col in self.bound.projections:
+                    src = self._source_of(col)
+                    if src[0] == "id":
+                        out.append(current.get(src[1], aid))
+                    else:
+                        out.append(assembled[(src[1], src[2])])
+                rows.append(tuple(out))
+        for heap in vis_heaps.values():
+            heap.free()
+        return rows

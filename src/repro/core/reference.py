@@ -1,0 +1,96 @@
+"""Reference engine: a naive in-memory SQL evaluator used as a test
+oracle.
+
+It evaluates bound queries directly over the raw loaded rows with no
+indexes, no RAM constraint and no trust boundary, producing the ground
+truth every GhostDB strategy must match bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.aggregate import apply_aggregates, effective_projections
+from repro.errors import PlanError
+from repro.schema.model import Schema
+from repro.sql.binder import BoundColumn, BoundQuery
+
+
+class ReferenceEngine:
+    """Ground-truth evaluator over the loader's raw rows."""
+
+    def __init__(self, schema: Schema, rows: Dict[str, List[Tuple]]):
+        self.schema = schema
+        self.rows = rows
+
+    # ------------------------------------------------------------------
+    def _descend_id(self, table: str, rid: int, target: str) -> int:
+        """The single ``target`` id below tuple ``rid`` of ``table``."""
+        if table == target:
+            return rid
+        path: List[str] = []
+        cur = target
+        while cur != table:
+            parent = self.schema.parent(cur)
+            if parent is None:
+                raise PlanError(f"{target} is not below {table}")
+            path.append(cur)
+            cur = parent
+        current_table, current_id = table, rid
+        for child in reversed(path):
+            fk = self.schema.fk_to(current_table, child)
+            pos = self.schema.table(current_table).column_position(fk.name)
+            current_id = self.rows[current_table][current_id][pos]
+            current_table = child
+        return current_id
+
+    def _value(self, col: BoundColumn, ids: Dict[str, int]):
+        rid = ids[col.table]
+        if col.column.is_id:
+            return rid
+        pos = self.schema.table(col.table).column_position(col.column.name)
+        return self.rows[col.table][rid][pos]
+
+    @staticmethod
+    def _matches(predicate, value) -> bool:
+        op = predicate.op
+        if op == "=":
+            return value == predicate.value
+        if op == "<":
+            return value < predicate.value
+        if op == "<=":
+            return value <= predicate.value
+        if op == ">":
+            return value > predicate.value
+        if op == ">=":
+            return value >= predicate.value
+        if op == "between":
+            return predicate.value <= value <= predicate.value2
+        if op == "in":
+            return value in (predicate.values or ())
+        raise PlanError(f"unknown op {op!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def execute(self, bound: BoundQuery
+                ) -> Tuple[List[str], List[Tuple]]:
+        """Evaluate the query; rows come out in anchor-id order."""
+        anchor = bound.anchor
+        projections = (effective_projections(bound) if bound.is_aggregate
+                       else bound.projections)
+        out: List[Tuple] = []
+        for rid in range(len(self.rows[anchor])):
+            ids = {t: self._descend_id(anchor, rid, t)
+                   for t in bound.tables}
+            ok = True
+            for sel in bound.selections:
+                value = self._value(
+                    BoundColumn(sel.table, sel.column), ids
+                )
+                if not self._matches(sel.predicate, value):
+                    ok = False
+                    break
+            if ok:
+                out.append(tuple(self._value(c, ids) for c in projections))
+        if bound.is_aggregate:
+            return apply_aggregates(bound, projections, out)
+        return [str(c) for c in bound.projections], out

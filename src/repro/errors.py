@@ -1,0 +1,71 @@
+"""Exception hierarchy for the GhostDB reproduction.
+
+Every error raised by this library derives from :class:`GhostDBError`
+so applications can catch library failures with a single clause.
+"""
+
+from __future__ import annotations
+
+
+class GhostDBError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class FlashError(GhostDBError):
+    """Base class for NAND-flash level failures."""
+
+
+class ProgramError(FlashError):
+    """A page was programmed without having been erased first."""
+
+
+class OutOfSpaceError(FlashError):
+    """The flash device has no free blocks left, even after GC."""
+
+
+class BadAddressError(FlashError):
+    """A physical or logical address is out of range or unmapped."""
+
+
+class RamExhausted(GhostDBError):
+    """An operator asked for more secure RAM than is available.
+
+    The whole point of GhostDB's operator design is to avoid this: a
+    well-formed plan allocates at most the configured buffer budget.
+    """
+
+
+class ChannelError(GhostDBError):
+    """Misuse of the Untrusted<->Secure communication channel."""
+
+
+class LeakError(ChannelError):
+    """An attempt was made to send Hidden data out of the Secure token."""
+
+
+class SchemaError(GhostDBError):
+    """Invalid schema declaration (non-tree shape, bad reference, ...)."""
+
+
+class SqlError(GhostDBError):
+    """Base class for SQL front-end failures."""
+
+
+class SqlSyntaxError(SqlError):
+    """The query text could not be parsed."""
+
+
+class BindError(SqlError):
+    """The query references unknown tables/columns or illegal joins."""
+
+
+class PlanError(GhostDBError):
+    """No valid query execution plan could be produced."""
+
+
+class StorageError(GhostDBError):
+    """Record/heap level failure (bad row width, unknown file, ...)."""
+
+
+class IndexError_(GhostDBError):
+    """Index construction or lookup failure."""

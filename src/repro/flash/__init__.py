@@ -1,0 +1,36 @@
+"""NAND flash substrate: raw array, FTL, page files and I/O accounting.
+
+This package reproduces the storage side of the paper's Gemalto device
+simulator: an I/O-accurate model of a GB-scale external NAND module
+attached to the secure chip, including the Flash Translation Layer
+traffic (out-of-place updates, garbage collection, wear levelling).
+"""
+
+from repro.flash.constants import (
+    DEFAULT_PARAMS,
+    ID_SIZE,
+    PAGE_SIZE,
+    RAM_SIZE,
+    FlashParams,
+)
+from repro.flash.ftl import Ftl
+from repro.flash.nand import NandFlash
+from repro.flash.stats import COMM, ERASE, READ, WRITE, CostLedger
+from repro.flash.store import FlashFile, FlashStore
+
+__all__ = [
+    "COMM",
+    "DEFAULT_PARAMS",
+    "ERASE",
+    "READ",
+    "WRITE",
+    "ID_SIZE",
+    "PAGE_SIZE",
+    "RAM_SIZE",
+    "CostLedger",
+    "FlashFile",
+    "FlashParams",
+    "FlashStore",
+    "Ftl",
+    "NandFlash",
+]

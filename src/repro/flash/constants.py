@@ -1,0 +1,63 @@
+"""Device constants for the simulated smart USB key.
+
+The defaults reproduce Table 1 of the paper:
+
+====================================================  =========
+Parameter                                             Value
+====================================================  =========
+Size of an ID (bytes)                                 4
+Size of a page in Flash (bytes)                       2048
+RAM size (bytes)                                      65536
+Time to read a page in Flash (us)                     25
+Time to write a page in Flash (us)                    200
+Time to transfer a byte Data Register <-> RAM (ns)    50
+====================================================  =========
+
+Reading a page therefore costs between 25us (load into the data
+register only) and 25us + 2048 x 50ns ~= 127us depending on how many
+bytes are actually moved into RAM, matching the paper's stated 25-125us
+range and read/write ratio of roughly 2.5x to 12x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ID_SIZE = 4
+"""Size of a tuple identifier in bytes (paper Table 1)."""
+
+PAGE_SIZE = 2048
+"""Flash page size in bytes -- also the I/O unit and RAM buffer size."""
+
+RAM_SIZE = 65536
+"""Secure RAM budget in bytes (64 KB = 32 buffers of 2 KB)."""
+
+
+@dataclass(frozen=True)
+class FlashParams:
+    """Timing and geometry parameters of the simulated NAND module."""
+
+    page_size: int = PAGE_SIZE
+    pages_per_block: int = 64
+    n_blocks: int = 4096
+    read_page_us: float = 25.0
+    write_page_us: float = 200.0
+    byte_transfer_ns: float = 50.0
+    erase_block_us: float = 0.0  # the paper's cost model folds erases into writes
+    gc_free_block_threshold: int = 4
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw capacity of the NAND array in bytes."""
+        return self.page_size * self.pages_per_block * self.n_blocks
+
+    def read_time_us(self, nbytes: int) -> float:
+        """Time to read one page and move ``nbytes`` of it into RAM."""
+        return self.read_page_us + nbytes * self.byte_transfer_ns / 1000.0
+
+    def write_time_us(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` to the data register and program a page."""
+        return self.write_page_us + nbytes * self.byte_transfer_ns / 1000.0
+
+
+DEFAULT_PARAMS = FlashParams()

@@ -1,0 +1,83 @@
+"""Raw NAND flash array.
+
+Models the physical constraints that shape everything above it:
+
+* the unit of read/program is one *page* (2 KB by default);
+* a page can only be programmed once after an erase;
+* erases happen at *block* granularity (64 pages by default).
+
+The FTL (:mod:`repro.flash.ftl`) builds a rewritable logical page space
+on top of these constraints; user code never touches this module
+directly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BadAddressError, ProgramError
+from repro.flash.constants import FlashParams
+
+#: page states
+ERASED = 0
+PROGRAMMED = 1
+
+
+class NandFlash:
+    """A physical NAND array: ``n_blocks`` blocks of ``pages_per_block`` pages."""
+
+    def __init__(self, params: FlashParams):
+        self.params = params
+        self.n_pages = params.n_blocks * params.pages_per_block
+        self._state = bytearray(self.n_pages)  # ERASED / PROGRAMMED
+        self._data: dict[int, bytes] = {}
+        self.erase_counts = [0] * params.n_blocks
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    def block_of(self, ppn: int) -> int:
+        """Block index containing physical page ``ppn``."""
+        return ppn // self.params.pages_per_block
+
+    def pages_of_block(self, block: int) -> range:
+        """Physical page numbers belonging to ``block``."""
+        ppb = self.params.pages_per_block
+        return range(block * ppb, (block + 1) * ppb)
+
+    def _check_ppn(self, ppn: int) -> None:
+        if not 0 <= ppn < self.n_pages:
+            raise BadAddressError(f"physical page {ppn} out of range")
+
+    # ------------------------------------------------------------------
+    # physical operations
+    # ------------------------------------------------------------------
+    def is_erased(self, ppn: int) -> bool:
+        """Whether ``ppn`` may be programmed."""
+        self._check_ppn(ppn)
+        return self._state[ppn] == ERASED
+
+    def program_page(self, ppn: int, data: bytes) -> None:
+        """Program one page.  Raises if the page was not erased first."""
+        self._check_ppn(ppn)
+        if self._state[ppn] != ERASED:
+            raise ProgramError(f"page {ppn} programmed twice without erase")
+        if len(data) > self.params.page_size:
+            raise BadAddressError(
+                f"payload of {len(data)} bytes exceeds page size "
+                f"{self.params.page_size}"
+            )
+        self._state[ppn] = PROGRAMMED
+        self._data[ppn] = bytes(data)
+
+    def read_page(self, ppn: int) -> bytes:
+        """Return the content of one page (empty pages read as b'')."""
+        self._check_ppn(ppn)
+        return self._data.get(ppn, b"")
+
+    def erase_block(self, block: int) -> None:
+        """Erase every page of ``block`` and bump its wear counter."""
+        if not 0 <= block < self.params.n_blocks:
+            raise BadAddressError(f"block {block} out of range")
+        for ppn in self.pages_of_block(block):
+            self._state[ppn] = ERASED
+            self._data.pop(ppn, None)
+        self.erase_counts[block] += 1

@@ -1,0 +1,131 @@
+"""Named page files over the FTL.
+
+Everything the Secure token persists -- hidden table images, SKTs,
+B+-tree nodes, climbing-index ID runs, temporary merge runs -- is a
+:class:`FlashFile`: an ordered sequence of logical flash pages that can
+be appended to, rewritten page-wise, and freed.  :class:`FlashStore`
+is the directory of those files.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.errors import BadAddressError, StorageError
+from repro.flash.ftl import Ftl
+
+
+class FlashFile:
+    """An ordered sequence of logical flash pages."""
+
+    def __init__(self, store: "FlashStore", name: str):
+        self._store = store
+        self.name = name
+        self._lpns: list[int] = []
+        self._page_fill: list[int] = []  # bytes stored per page
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pages(self) -> int:
+        """Number of pages currently in the file."""
+        return len(self._lpns)
+
+    @property
+    def n_bytes(self) -> int:
+        """Total payload bytes stored in the file."""
+        return sum(self._page_fill)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise StorageError(f"flash file {self.name!r} already freed")
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self._lpns):
+            raise BadAddressError(
+                f"page {index} out of range for file {self.name!r} "
+                f"({len(self._lpns)} pages)"
+            )
+
+    # ------------------------------------------------------------------
+    def append_page(self, data: bytes) -> int:
+        """Append one page of payload; returns its index in the file."""
+        self._check_open()
+        (lpn,) = self._store.ftl.allocate(1)
+        self._store.ftl.write(lpn, data)
+        self._lpns.append(lpn)
+        self._page_fill.append(len(data))
+        return len(self._lpns) - 1
+
+    def write_page(self, index: int, data: bytes) -> None:
+        """Rewrite page ``index`` (out of place, via the FTL)."""
+        self._check_open()
+        self._check_index(index)
+        self._store.ftl.write(self._lpns[index], data)
+        self._page_fill[index] = len(data)
+
+    def read_page(self, index: int, nbytes: Optional[int] = None,
+                  offset: int = 0) -> bytes:
+        """Read page ``index``; move only ``nbytes`` from ``offset`` into RAM."""
+        self._check_open()
+        self._check_index(index)
+        return self._store.ftl.read(self._lpns[index], nbytes, offset)
+
+    def free(self) -> None:
+        """Release every page of the file back to the FTL."""
+        if self.closed:
+            return
+        for lpn in self._lpns:
+            self._store.ftl.trim(lpn)
+        self._lpns.clear()
+        self._page_fill.clear()
+        self.closed = True
+        self._store._forget(self.name)
+
+
+class FlashStore:
+    """Directory of :class:`FlashFile` objects over one FTL instance."""
+
+    def __init__(self, ftl: Ftl):
+        self.ftl = ftl
+        self._files: Dict[str, FlashFile] = {}
+        self._temp_ids = itertools.count()
+
+    def create(self, name: str) -> FlashFile:
+        """Create a new, empty file called ``name``."""
+        if name in self._files:
+            raise StorageError(f"flash file {name!r} already exists")
+        f = FlashFile(self, name)
+        self._files[name] = f
+        return f
+
+    def get(self, name: str) -> FlashFile:
+        """Look up an existing file."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StorageError(f"no flash file named {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def create_temp(self) -> FlashFile:
+        """Create a uniquely named temporary file (caller frees it)."""
+        return self.create(f"__temp_{next(self._temp_ids)}")
+
+    def _forget(self, name: str) -> None:
+        self._files.pop(name, None)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_files(self) -> int:
+        return len(self._files)
+
+    def pages_used(self) -> int:
+        """Pages held by all live files."""
+        return sum(f.n_pages for f in self._files.values())
+
+    def bytes_used(self) -> int:
+        """Payload bytes held by all live files."""
+        return sum(f.n_bytes for f in self._files.values())

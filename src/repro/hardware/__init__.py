@@ -1,0 +1,14 @@
+"""Hardware model of the smart USB key: RAM, channel, token facade."""
+
+from repro.hardware.channel import ChannelStats, OutboundMessage, UsbChannel
+from repro.hardware.ram import Allocation, SecureRam
+from repro.hardware.token import SecureToken, TokenConfig
+
+__all__ = [
+    "Allocation",
+    "ChannelStats",
+    "OutboundMessage",
+    "SecureRam",
+    "SecureToken",
+    "TokenConfig",
+]

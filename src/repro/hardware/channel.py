@@ -1,0 +1,96 @@
+"""The Untrusted <-> Secure communication channel.
+
+Models the USB link in two respects:
+
+* **time** -- transfers are charged to the cost ledger at the
+  configured throughput (the paper's Figure 14 sweeps 0.3-10 MBps;
+  USB 2.0 full speed is 12 Mb/s ~= 1.5 MB/s);
+* **security** -- every outbound (Secure -> Untrusted) message is
+  recorded in a ledger.  GhostDB's security argument is exactly that
+  this ledger only ever contains the user's query (which is public by
+  assumption): "the only information revealed to a potential spy is
+  which queries you pose".  Attempting to send payload flagged as
+  hidden raises :class:`~repro.errors.LeakError`, and the test suite
+  audits the ledger after every plan.
+
+A dedicated buffer in the smart USB key is wired to the channel, so
+downloads from Untrusted consume no secure RAM (paper section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import LeakError
+from repro.flash.stats import COMM, CostLedger
+
+
+@dataclass
+class OutboundMessage:
+    """Audit record of one Secure -> Untrusted transfer."""
+
+    kind: str          # e.g. "query", "vis_request"
+    nbytes: int
+    description: str
+
+
+@dataclass
+class ChannelStats:
+    bytes_to_secure: int = 0
+    bytes_to_untrusted: int = 0
+    messages_to_secure: int = 0
+    messages_to_untrusted: int = 0
+    outbound_log: List[OutboundMessage] = field(default_factory=list)
+
+
+class UsbChannel:
+    """Byte-accounted, leak-audited duplex link."""
+
+    #: outbound message kinds that are derived from the public query only
+    SAFE_OUTBOUND_KINDS = frozenset({"query", "vis_request", "result_release"})
+
+    def __init__(self, ledger: CostLedger, throughput_mbps: float = 1.5):
+        if throughput_mbps <= 0:
+            raise ValueError("throughput must be positive")
+        self.ledger = ledger
+        self.throughput_mbps = throughput_mbps
+        self.stats = ChannelStats()
+
+    # ------------------------------------------------------------------
+    def _charge(self, nbytes: int) -> None:
+        time_us = nbytes / self.throughput_mbps  # bytes / (MB/s) == us
+        self.ledger.charge(COMM, time_us, comm_bytes=nbytes)
+
+    # ------------------------------------------------------------------
+    def to_secure(self, nbytes: int, description: str = "") -> None:
+        """Untrusted -> Secure transfer (Visible data entering the key)."""
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        self._charge(nbytes)
+        self.stats.bytes_to_secure += nbytes
+        self.stats.messages_to_secure += 1
+
+    def to_untrusted(self, nbytes: int, kind: str, description: str = "",
+                     contains_hidden: bool = False) -> None:
+        """Secure -> Untrusted transfer.  Audited; hidden payloads refused."""
+        if contains_hidden:
+            raise LeakError(
+                f"refusing to send hidden data to Untrusted: {description}"
+            )
+        if kind not in self.SAFE_OUTBOUND_KINDS:
+            raise LeakError(
+                f"outbound message kind {kind!r} is not derived from the "
+                f"public query; refusing to send"
+            )
+        self._charge(nbytes)
+        self.stats.bytes_to_untrusted += nbytes
+        self.stats.messages_to_untrusted += 1
+        self.stats.outbound_log.append(
+            OutboundMessage(kind=kind, nbytes=nbytes, description=description)
+        )
+
+    # ------------------------------------------------------------------
+    def audit_outbound(self) -> List[OutboundMessage]:
+        """Everything that ever left the Secure token, for leak checks."""
+        return list(self.stats.outbound_log)

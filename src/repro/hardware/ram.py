@@ -1,0 +1,126 @@
+"""Secure RAM manager.
+
+Security dictates a tiny RAM on the secure chip (the smaller the die,
+the harder it is to snoop), so every GhostDB operator must account for
+the RAM it holds.  :class:`SecureRam` is a strict budget: allocations
+beyond the configured capacity raise :class:`~repro.errors.RamExhausted`
+instead of silently spilling, which is how the test suite proves that
+plans honour the paper's 64 KB budget.
+
+The natural allocation unit is one *buffer* of one flash page (2 KB);
+the default budget is 32 such buffers.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.errors import RamExhausted
+from repro.flash.constants import PAGE_SIZE, RAM_SIZE
+
+
+class Allocation:
+    """A live slice of secure RAM.  Free it with :meth:`free`."""
+
+    __slots__ = ("ram", "nbytes", "label", "freed")
+
+    def __init__(self, ram: "SecureRam", nbytes: int, label: str):
+        self.ram = ram
+        self.nbytes = nbytes
+        self.label = label
+        self.freed = False
+
+    def free(self) -> None:
+        """Return the bytes to the pool (idempotent)."""
+        if not self.freed:
+            self.freed = True
+            self.ram._release(self.nbytes)
+            self.ram.live_allocations = max(0, self.ram.live_allocations - 1)
+
+    def resize(self, nbytes: int) -> None:
+        """Grow or shrink the allocation in place."""
+        if self.freed:
+            raise RamExhausted("resize of a freed allocation")
+        delta = nbytes - self.nbytes
+        if delta > 0:
+            self.ram._acquire(delta, self.label)
+        elif delta < 0:
+            self.ram._release(-delta)
+        self.nbytes = nbytes
+
+    def __enter__(self) -> "Allocation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.free()
+
+
+class SecureRam:
+    """Byte-accurate allocator over the token's RAM budget."""
+
+    def __init__(self, capacity: int = RAM_SIZE, page_size: int = PAGE_SIZE):
+        if capacity <= 0:
+            raise ValueError("RAM capacity must be positive")
+        self.capacity = capacity
+        self.page_size = page_size
+        self.used = 0
+        self.peak_used = 0
+        self.live_allocations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used
+
+    @property
+    def n_buffers(self) -> int:
+        """Total page-sized buffers the budget can hold (32 by default)."""
+        return self.capacity // self.page_size
+
+    @property
+    def free_buffers(self) -> int:
+        """Whole page-sized buffers currently available."""
+        return self.free_bytes // self.page_size
+
+    # ------------------------------------------------------------------
+    def alloc(self, nbytes: int, label: str = "") -> Allocation:
+        """Claim ``nbytes``; raises :class:`RamExhausted` when over budget."""
+        self._acquire(nbytes, label)
+        self.live_allocations += 1
+        return Allocation(self, nbytes, label)
+
+    def alloc_buffer(self, label: str = "") -> Allocation:
+        """Claim one page-sized I/O buffer."""
+        return self.alloc(self.page_size, label)
+
+    @contextmanager
+    def reserve(self, nbytes: int, label: str = "") -> Iterator[Allocation]:
+        """``with ram.reserve(4096, "merge output"):`` style allocation."""
+        allocation = self.alloc(nbytes, label)
+        try:
+            yield allocation
+        finally:
+            allocation.free()
+
+    # ------------------------------------------------------------------
+    def _acquire(self, nbytes: int, label: str) -> None:
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self.used + nbytes > self.capacity:
+            raise RamExhausted(
+                f"cannot allocate {nbytes} bytes for {label or 'operator'}: "
+                f"{self.free_bytes} of {self.capacity} bytes free"
+            )
+        self.used += nbytes
+        self.peak_used = max(self.peak_used, self.used)
+
+    def _release(self, nbytes: int) -> None:
+        self.used -= nbytes
+
+    def assert_all_freed(self) -> None:
+        """Test hook: verify no operator leaked RAM."""
+        if self.used != 0:
+            raise RamExhausted(
+                f"{self.used} bytes of secure RAM still allocated"
+            )

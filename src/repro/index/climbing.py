@@ -1,0 +1,203 @@
+"""Climbing indexes.
+
+A climbing index on ``Ti.attr`` maps each attribute value to one sorted
+sublist of IDs *per ancestor table up to the root* (plus ``Ti``
+itself).  Looking up a predicate can therefore deliver IDs of any
+ancestor level directly -- "climbing" the schema tree in a single index
+traversal instead of cascading lookups through per-join indexes.
+
+Layout: a B+-tree keyed on the attribute value whose fixed-width leaf
+payload holds, per level, a ``(start, count)`` descriptor into that
+level's packed ID-run file.  Runs are written in value order, so a
+range predicate touches contiguous run pages.  Root-table indexes have
+a single level and degenerate to ordinary B+-trees, exactly as the
+paper notes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import IndexError_
+from repro.flash.constants import ID_SIZE
+from repro.flash.store import FlashStore
+from repro.hardware.ram import SecureRam
+from repro.index.btree import BPlusTree
+from repro.index.keys import KeyCodec
+from repro.storage.codec import ColumnType
+from repro.storage.runs import U32FileBuilder, U32View
+
+_DESC_W = 8  # (start u32, count u32) per level
+
+
+class Predicate:
+    """A selection predicate ``attr op value`` usable against an index."""
+
+    OPS = ("=", "<", "<=", ">", ">=", "between", "in")
+
+    def __init__(self, op: str, value=None, value2=None, values=None):
+        if op not in self.OPS:
+            raise IndexError_(f"unsupported predicate operator {op!r}")
+        self.op = op
+        self.value = value
+        self.value2 = value2
+        self.values = values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.op == "in":
+            return f"Predicate(in, {len(self.values or [])} values)"
+        if self.op == "between":
+            return f"Predicate(between {self.value} and {self.value2})"
+        return f"Predicate({self.op} {self.value})"
+
+
+class ClimbingIndex:
+    """Value -> per-level sorted ID sublists, on flash."""
+
+    def __init__(self, name: str, levels: Sequence[str], key_codec: KeyCodec,
+                 btree: BPlusTree, run_files: Dict[str, "U32FileBuilder"]):
+        self.name = name
+        self.levels = list(levels)        # levels[0] is the indexed table
+        self.key_codec = key_codec
+        self.btree = btree
+        self._runs = run_files            # finished builders, per level
+        self.n_entries = btree.n_entries
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, store: FlashStore, name: str,
+              column_type: ColumnType,
+              levels: Sequence[str],
+              items: Iterable[Tuple[object, int]],
+              ancestor_ids: Dict[str, Dict[int, Sequence[int]]],
+              page_size: int,
+              ram: Optional[SecureRam] = None) -> "ClimbingIndex":
+        """Build an index over ``items`` = (value, id-of-levels[0]) pairs.
+
+        ``ancestor_ids[level][id]`` lists, sorted, the IDs of ``level``
+        whose foreign-key chain reaches the ``levels[0]`` tuple ``id``.
+        Entries for ``levels[0]`` itself are the ids of the matching
+        tuples and need no mapping.
+        """
+        levels = list(levels)
+        if not levels:
+            raise IndexError_("climbing index needs at least one level")
+        for level in levels[1:]:
+            if level not in ancestor_ids:
+                raise IndexError_(f"missing ancestor id map for {level!r}")
+        key_codec = KeyCodec(column_type)
+
+        builders = {
+            level: U32FileBuilder(store, ram,
+                                  name=f"ci_{name}_runs_{level}",
+                                  label=f"ci build {name}")
+            for level in levels
+        }
+        sorted_items = sorted(items, key=lambda it: key_codec.encode(it[0]))
+        entries: List[Tuple[bytes, bytes]] = []
+        for key_bytes, group in itertools.groupby(
+                sorted_items, key=lambda it: key_codec.encode(it[0])):
+            ids = sorted(i for _, i in group)
+            payload = bytearray()
+            for level in levels:
+                builder = builders[level]
+                start = builder.mark()
+                if level == levels[0]:
+                    builder.extend(ids)
+                else:
+                    mapping = ancestor_ids[level]
+                    merged = heapq.merge(
+                        *(mapping.get(i, ()) for i in ids)
+                    )
+                    builder.extend(merged)
+                payload += start.to_bytes(4, "little")
+                payload += (builder.mark() - start).to_bytes(4, "little")
+            entries.append((key_bytes, bytes(payload)))
+
+        for builder in builders.values():
+            builder.finish()
+        btree = BPlusTree.bulk_build(
+            store, f"ci_{name}_tree", entries,
+            key_width=key_codec.width,
+            payload_width=_DESC_W * len(levels),
+            page_size=page_size, ram=ram,
+        )
+        return cls(name, levels, key_codec, btree, builders)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def _level_pos(self, level: str) -> int:
+        try:
+            return self.levels.index(level)
+        except ValueError:
+            raise IndexError_(
+                f"index {self.name!r} cannot climb to {level!r}; "
+                f"levels: {self.levels}"
+            ) from None
+
+    def _view(self, payload: bytes, level_pos: int, level: str) -> U32View:
+        off = level_pos * _DESC_W
+        start = int.from_bytes(payload[off:off + 4], "little")
+        count = int.from_bytes(payload[off + 4:off + 8], "little")
+        return U32View(self._runs[level].file, start, count)
+
+    def lookup(self, predicate: Predicate, level: str,
+               ram: Optional[SecureRam] = None) -> List[U32View]:
+        """Sublists of ``level`` IDs for entries matching ``predicate``.
+
+        Returns one sorted sublist per matching index entry; equality
+        predicates yield at most one, range predicates arbitrarily many
+        (the Merge operator unions them).
+        """
+        pos = self._level_pos(level)
+        enc = self.key_codec.encode
+        out: List[U32View] = []
+
+        if predicate.op == "=":
+            payload = self.btree.lookup(enc(predicate.value), ram)
+            if payload is not None:
+                out.append(self._view(payload, pos, level))
+            return out
+
+        if predicate.op == "in":
+            if predicate.values is None:
+                raise IndexError_("'in' predicate without values")
+            keys = sorted(enc(v) for v in predicate.values)
+            for _, payload in self.btree.lookup_many(keys, ram):
+                if payload is not None:
+                    out.append(self._view(payload, pos, level))
+            return out
+
+        lo = hi = None
+        lo_inc = hi_inc = True
+        if predicate.op == "<":
+            hi, hi_inc = enc(predicate.value), False
+        elif predicate.op == "<=":
+            hi = enc(predicate.value)
+        elif predicate.op == ">":
+            lo, lo_inc = enc(predicate.value), False
+        elif predicate.op == ">=":
+            lo = enc(predicate.value)
+        elif predicate.op == "between":
+            lo, hi = enc(predicate.value), enc(predicate.value2)
+        for _, payload in self.btree.range(lo, hi, lo_inc, hi_inc, ram):
+            out.append(self._view(payload, pos, level))
+        return out
+
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Flash bytes occupied by the tree and all run files."""
+        total = self.btree.file.n_bytes
+        for builder in self._runs.values():
+            total += builder.file.n_bytes
+        return total
+
+    def free(self) -> None:
+        self.btree.free()
+        for builder in self._runs.values():
+            builder.file.free()

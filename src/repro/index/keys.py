@@ -1,0 +1,85 @@
+"""Order-preserving key encodings for the flash B+-tree.
+
+Keys are compared as raw bytes inside tree nodes, so every supported
+attribute type gets an encoding whose byte order matches value order:
+
+* integers -- offset-binary (sign bit flipped), big-endian;
+* floats   -- IEEE-754 with the usual total-order bit trick;
+* strings  -- UTF-8, NUL padded to the column width.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import IndexError_
+from repro.storage.codec import CharType, ColumnType, FloatType, IntType
+
+INT_KEY_WIDTH = 8
+FLOAT_KEY_WIDTH = 8
+
+
+def encode_int(value: int) -> bytes:
+    """Sortable 8-byte encoding of a signed integer."""
+    return (int(value) + (1 << 63)).to_bytes(INT_KEY_WIDTH, "big")
+
+
+def decode_int(raw: bytes) -> int:
+    return int.from_bytes(raw, "big") - (1 << 63)
+
+
+def encode_float(value: float) -> bytes:
+    """Sortable 8-byte encoding of an IEEE double."""
+    (bits,) = struct.unpack(">Q", struct.pack(">d", float(value)))
+    if bits & (1 << 63):
+        bits = ~bits & ((1 << 64) - 1)   # negative: flip everything
+    else:
+        bits |= 1 << 63                  # positive: flip sign bit
+    return bits.to_bytes(FLOAT_KEY_WIDTH, "big")
+
+
+def decode_float(raw: bytes) -> float:
+    bits = int.from_bytes(raw, "big")
+    if bits & (1 << 63):
+        bits &= ~(1 << 63) & ((1 << 64) - 1)
+    else:
+        bits = ~bits & ((1 << 64) - 1)
+    return struct.unpack(">d", struct.pack(">Q", bits))[0]
+
+
+def encode_str(value: str, width: int) -> bytes:
+    raw = str(value).encode("utf-8")
+    if len(raw) > width:
+        raise IndexError_(
+            f"string key of {len(raw)} bytes exceeds width {width}"
+        )
+    return raw.ljust(width, b"\x00")
+
+
+def decode_str(raw: bytes) -> str:
+    return raw.rstrip(b"\x00").decode("utf-8")
+
+
+class KeyCodec:
+    """Encoder/decoder for one column type's B+-tree keys."""
+
+    def __init__(self, column_type: ColumnType):
+        self.column_type = column_type
+        if isinstance(column_type, IntType):
+            self.width = INT_KEY_WIDTH
+            self._enc, self._dec = encode_int, decode_int
+        elif isinstance(column_type, FloatType):
+            self.width = FLOAT_KEY_WIDTH
+            self._enc, self._dec = encode_float, decode_float
+        elif isinstance(column_type, CharType):
+            self.width = column_type.size
+            self._enc = lambda v: encode_str(v, column_type.size)
+            self._dec = decode_str
+        else:  # pragma: no cover - exhaustive over ColumnType
+            raise IndexError_(f"unindexable type {column_type!r}")
+
+    def encode(self, value) -> bytes:
+        return self._enc(value)
+
+    def decode(self, raw: bytes):
+        return self._dec(raw)

@@ -1,0 +1,6 @@
+"""SQL front end: lexer, parser, AST and binder."""
+
+from repro.sql.binder import Binder, BoundColumn, BoundQuery, BoundSelection
+from repro.sql.parser import parse
+
+__all__ = ["Binder", "BoundColumn", "BoundQuery", "BoundSelection", "parse"]

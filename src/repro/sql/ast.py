@@ -1,0 +1,93 @@
+"""Abstract syntax trees for the SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+Value = Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``table.column`` (the table qualifier may be omitted in source)."""
+
+    table: Optional[str]
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` or ``table.*`` in a select list."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``func(column)`` or ``COUNT(*)`` in a select list."""
+
+    func: str                     # COUNT / SUM / MIN / MAX / AVG
+    arg: Optional[ColumnRef]      # None for COUNT(*)
+
+
+SelectItem = Union[ColumnRef, Star, Aggregate]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``col op literal`` -- a selection predicate."""
+
+    column: ColumnRef
+    op: str                       # = < <= > >=
+    value: Value
+
+
+@dataclass(frozen=True)
+class BetweenPredicate:
+    column: ColumnRef
+    low: Value
+    high: Value
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    column: ColumnRef
+    values: Sequence[Value]
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """``a.x = b.y`` -- an equi-join between two columns."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+
+Predicate = Union[Comparison, BetweenPredicate, InPredicate, JoinPredicate]
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    select: Sequence[SelectItem]
+    tables: Sequence[str]
+    predicates: Sequence[Predicate] = field(default_factory=tuple)
+    group_by: Sequence[ColumnRef] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str                # INT / SMALLINT / BIGINT / FLOAT / CHAR
+    char_size: Optional[int] = None
+    hidden: bool = False
+    references: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: Sequence[ColumnDef]

@@ -1,0 +1,262 @@
+"""Semantic analysis: bind a parsed query to the schema.
+
+The binder resolves column references, validates that the queried
+tables form a connected subtree joined along foreign-key edges, picks
+the *anchor* table (the topmost queried table -- the root of the
+queried subtree, whose IDs the QEPSJ produces), and classifies each
+selection predicate as Visible (computable by Untrusted) or Hidden
+(climbing-index lookup on Secure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import BindError
+from repro.index.climbing import Predicate as IndexPredicate
+from repro.schema.model import Column, Schema, Table
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+@dataclass(frozen=True)
+class BoundColumn:
+    table: str
+    column: Column
+
+    @property
+    def is_id(self) -> bool:
+        return self.column.is_id
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column.name}"
+
+
+@dataclass(frozen=True)
+class BoundSelection:
+    """One selection predicate, classified and index-ready."""
+
+    table: str
+    column: Column
+    predicate: IndexPredicate
+
+    @property
+    def visible(self) -> bool:
+        return not self.column.hidden
+
+
+@dataclass(frozen=True)
+class BoundAggregate:
+    func: str
+    arg: Optional[BoundColumn]    # None for COUNT(*)
+
+
+@dataclass(frozen=True)
+class BoundQuery:
+    sql: str
+    tables: Tuple[str, ...]
+    anchor: str
+    selections: Tuple[BoundSelection, ...]
+    projections: Tuple[BoundColumn, ...]
+    aggregates: Tuple[BoundAggregate, ...] = ()
+    group_by: Tuple[BoundColumn, ...] = ()
+
+    @property
+    def is_aggregate(self) -> bool:
+        return bool(self.aggregates)
+
+    def visible_selections(self, table: Optional[str] = None
+                           ) -> List[BoundSelection]:
+        return [s for s in self.selections
+                if s.visible and (table is None or s.table == table)]
+
+    def hidden_selections(self, table: Optional[str] = None
+                          ) -> List[BoundSelection]:
+        return [s for s in self.selections
+                if not s.visible and (table is None or s.table == table)]
+
+    def projected_tables(self) -> List[str]:
+        seen: List[str] = []
+        for p in self.projections:
+            if p.table not in seen:
+                seen.append(p.table)
+        return seen
+
+
+class Binder:
+    """Binds :class:`ast.SelectQuery` objects against one schema."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+
+    # ------------------------------------------------------------------
+    def bind_sql(self, sql: str) -> BoundQuery:
+        parsed = parse(sql)
+        if not isinstance(parsed, ast.SelectQuery):
+            raise BindError("expected a SELECT statement")
+        return self.bind(parsed, sql)
+
+    def bind(self, query: ast.SelectQuery, sql: str = "") -> BoundQuery:
+        tables = self._check_tables(query.tables)
+        joins = [p for p in query.predicates
+                 if isinstance(p, ast.JoinPredicate)]
+        anchor = self._validate_join_tree(tables, joins)
+        selections = tuple(
+            self._bind_selection(p, tables)
+            for p in query.predicates
+            if not isinstance(p, ast.JoinPredicate)
+        )
+        projections = tuple(self._expand_select(query.select, tables))
+        aggregates = tuple(
+            self._bind_aggregate(item, tables)
+            for item in query.select if isinstance(item, ast.Aggregate)
+        )
+        group_by = tuple(
+            self._resolve(ref, tables) for ref in query.group_by
+        )
+        if aggregates:
+            plain = [i for i in query.select
+                     if not isinstance(i, ast.Aggregate)]
+            for item in plain:
+                bound = (self._resolve(item, tables)
+                         if isinstance(item, ast.ColumnRef) else None)
+                if bound is None or bound not in group_by:
+                    raise BindError(
+                        "non-aggregated select items must appear in "
+                        "GROUP BY"
+                    )
+        elif group_by:
+            raise BindError("GROUP BY without aggregates")
+        return BoundQuery(
+            sql=sql, tables=tuple(tables), anchor=anchor,
+            selections=selections, projections=projections,
+            aggregates=aggregates, group_by=group_by,
+        )
+
+    # ------------------------------------------------------------------
+    def _check_tables(self, names: Sequence[str]) -> List[str]:
+        out: List[str] = []
+        for name in names:
+            if name not in self.schema.tables:
+                raise BindError(f"unknown table {name!r}")
+            if name in out:
+                raise BindError(f"table {name!r} listed twice in FROM")
+            out.append(name)
+        return out
+
+    def _validate_join_tree(self, tables: List[str],
+                            joins: List[ast.JoinPredicate]) -> str:
+        """Check joins follow fk edges and the tables form one subtree."""
+        edges = set()
+        for j in joins:
+            left = self._resolve(j.left, tables)
+            right = self._resolve(j.right, tables)
+            edge = self._classify_edge(left, right)
+            edges.add(edge)
+        anchor = min(tables, key=self.schema.depth)
+        for name in tables:
+            if name == anchor:
+                continue
+            parent = self.schema.parent(name)
+            if parent is None or parent not in tables:
+                raise BindError(
+                    f"table {name!r} does not join to the rest of the "
+                    f"query: include its parent {parent!r} and the "
+                    f"foreign-key join"
+                )
+            if (parent, name) not in edges:
+                raise BindError(
+                    f"missing join predicate between {parent!r} and "
+                    f"{name!r}"
+                )
+            if not self.schema.is_ancestor(anchor, name):
+                raise BindError(
+                    f"{name!r} is not in the subtree of the anchor "
+                    f"table {anchor!r}"
+                )
+        for parent, child in edges:
+            if parent not in tables or child not in tables:
+                raise BindError("join references a table not in FROM")
+        return anchor
+
+    def _classify_edge(self, a: BoundColumn, b: BoundColumn
+                       ) -> Tuple[str, str]:
+        """Return (parent, child) if ``a = b`` is a valid fk/id join."""
+        for fk, pk in ((a, b), (b, a)):
+            if fk.column.is_foreign_key and pk.column.is_id:
+                if fk.column.references != pk.table:
+                    raise BindError(
+                        f"join {fk}={pk} does not follow a foreign key "
+                        f"({fk} references {fk.column.references!r})"
+                    )
+                return fk.table, pk.table
+        raise BindError(
+            f"join {a}={b} must equate a foreign key with a primary key"
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve(self, ref: ast.ColumnRef, tables: List[str]) -> BoundColumn:
+        if ref.table is not None:
+            if ref.table not in tables:
+                raise BindError(
+                    f"column {ref} references a table not in FROM"
+                )
+            table = self.schema.table(ref.table)
+            if not table.has_column(ref.column):
+                raise BindError(f"unknown column {ref}")
+            return BoundColumn(ref.table, table.column(ref.column))
+        matches = [
+            t for t in tables if self.schema.table(t).has_column(ref.column)
+        ]
+        if not matches:
+            raise BindError(f"unknown column {ref.column!r}")
+        if len(matches) > 1:
+            raise BindError(
+                f"ambiguous column {ref.column!r}: in tables {matches}"
+            )
+        return BoundColumn(matches[0],
+                           self.schema.table(matches[0]).column(ref.column))
+
+    def _bind_selection(self, pred, tables: List[str]) -> BoundSelection:
+        if isinstance(pred, ast.Comparison):
+            bound = self._resolve(pred.column, tables)
+            index_pred = IndexPredicate(pred.op, pred.value)
+        elif isinstance(pred, ast.BetweenPredicate):
+            bound = self._resolve(pred.column, tables)
+            index_pred = IndexPredicate("between", pred.low, pred.high)
+        elif isinstance(pred, ast.InPredicate):
+            bound = self._resolve(pred.column, tables)
+            index_pred = IndexPredicate("in", values=list(pred.values))
+        else:  # pragma: no cover - parser only yields the above
+            raise BindError(f"unsupported predicate {pred!r}")
+        if bound.column.is_id:
+            raise BindError(
+                f"selections on surrogate keys ({bound}) are not supported"
+            )
+        return BoundSelection(bound.table, bound.column, index_pred)
+
+    def _bind_aggregate(self, agg: ast.Aggregate,
+                        tables: List[str]) -> BoundAggregate:
+        arg = self._resolve(agg.arg, tables) if agg.arg else None
+        if agg.func in ("SUM", "AVG") and arg is not None:
+            from repro.storage.codec import CharType
+            if isinstance(arg.column.type, CharType):
+                raise BindError(f"{agg.func} over a char column")
+        return BoundAggregate(agg.func, arg)
+
+    def _expand_select(self, items, tables: List[str]) -> List[BoundColumn]:
+        out: List[BoundColumn] = []
+        for item in items:
+            if isinstance(item, ast.Aggregate):
+                continue
+            if isinstance(item, ast.Star):
+                targets = [item.table] if item.table else tables
+                for t in targets:
+                    if t not in tables:
+                        raise BindError(f"{t}.* references unknown table")
+                    for col in self.schema.table(t).columns:
+                        out.append(BoundColumn(t, col))
+            else:
+                out.append(self._resolve(item, tables))
+        return out

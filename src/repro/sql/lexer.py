@@ -1,0 +1,105 @@
+"""Tokenizer for GhostDB's SQL dialect.
+
+Supports the paper's surface: ``CREATE TABLE`` with the ``HIDDEN``
+annotation and ``REFERENCES`` clauses, and Select-Project-Join queries
+with conjunctive predicates (comparisons, ``BETWEEN``, ``IN``) plus the
+aggregate extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "CREATE", "TABLE", "HIDDEN",
+    "REFERENCES", "BETWEEN", "IN", "GROUP", "BY", "AS", "INT", "INTEGER",
+    "SMALLINT", "BIGINT", "FLOAT", "CHAR", "COUNT", "SUM", "MIN", "MAX",
+    "AVG", "NOT", "NULL", "PRIMARY", "KEY", "DISTINCT",
+}
+
+#: token kinds
+KW = "kw"
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+OP = "op"
+EOF = "eof"
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".",
+              "*", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    pos: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split ``text`` into tokens; raises :class:`SqlSyntaxError`."""
+    tokens: List[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = text.find("'", i + 1)
+            if j < 0:
+                raise SqlSyntaxError(f"unterminated string at position {i}")
+            tokens.append(Token(STRING, text[i + 1:j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()
+                            and _number_context(tokens)):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit()
+                             or (text[j] == "." and not seen_dot
+                                 and j + 1 < n and text[j + 1].isdigit())):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(KW, word.upper(), i))
+            else:
+                tokens.append(Token(IDENT, word, i))
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(OP, op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise SqlSyntaxError(
+                f"unexpected character {ch!r} at position {i}"
+            )
+    tokens.append(Token(EOF, "", n))
+    return tokens
+
+
+def _number_context(tokens: List[Token]) -> bool:
+    """A leading '-' starts a number only after an operator/keyword."""
+    if not tokens:
+        return True
+    last = tokens[-1]
+    return last.kind in (OP, KW) and last.value not in (")",)

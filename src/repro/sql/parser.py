@@ -1,0 +1,228 @@
+"""Recursive-descent parser for the GhostDB SQL dialect.
+
+Grammar (conjunctive SPJ queries plus DDL)::
+
+    statement   := create_table | select
+    create_table:= CREATE TABLE ident '(' coldef (',' coldef)* ')'
+    coldef      := ident type [HIDDEN] [REFERENCES ident]
+    type        := INT | INTEGER | SMALLINT | BIGINT | FLOAT
+                 | CHAR '(' number ')'
+    select      := SELECT selitem (',' selitem)* FROM ident (',' ident)*
+                   [WHERE pred (AND pred)*] [GROUP BY colref (',' colref)*]
+    selitem     := colref | '*' | ident '.' '*' | agg '(' (colref|'*') ')'
+    pred        := colref ('='|'<'|'<='|'>'|'>=') (literal | colref)
+                 | colref BETWEEN literal AND literal
+                 | colref IN '(' literal (',' literal)* ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.errors import SqlSyntaxError
+from repro.sql.ast import (
+    Aggregate,
+    BetweenPredicate,
+    ColumnDef,
+    ColumnRef,
+    Comparison,
+    CreateTable,
+    InPredicate,
+    JoinPredicate,
+    SelectQuery,
+    Star,
+    Value,
+)
+from repro.sql.lexer import EOF, IDENT, KW, NUMBER, OP, STRING, Token, tokenize
+
+_AGG_FUNCS = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+_TYPES = {"INT", "INTEGER", "SMALLINT", "BIGINT", "FLOAT", "CHAR"}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        tok = self.cur
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = value or kind
+            raise SqlSyntaxError(
+                f"expected {want!r}, got {tok.value!r} at position {tok.pos}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, value: Optional[str] = None) -> bool:
+        tok = self.cur
+        if tok.kind == kind and (value is None or tok.value == value):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> Union[CreateTable, SelectQuery]:
+        if self.cur.kind == KW and self.cur.value == "CREATE":
+            stmt = self.parse_create_table()
+        elif self.cur.kind == KW and self.cur.value == "SELECT":
+            stmt = self.parse_select()
+        else:
+            raise SqlSyntaxError(
+                f"statement must start with CREATE or SELECT, "
+                f"got {self.cur.value!r}"
+            )
+        self.accept(OP, ";")
+        self.expect(EOF)
+        return stmt
+
+    # ------------------------------------------------------------------
+    def parse_create_table(self) -> CreateTable:
+        self.expect(KW, "CREATE")
+        self.expect(KW, "TABLE")
+        name = self.expect(IDENT).value
+        self.expect(OP, "(")
+        columns = [self.parse_coldef()]
+        while self.accept(OP, ","):
+            columns.append(self.parse_coldef())
+        self.expect(OP, ")")
+        return CreateTable(name, tuple(columns))
+
+    def parse_coldef(self) -> ColumnDef:
+        name = self.expect(IDENT).value
+        type_tok = self.cur
+        if type_tok.kind != KW or type_tok.value not in _TYPES:
+            raise SqlSyntaxError(
+                f"unknown column type {type_tok.value!r} for {name!r}"
+            )
+        self.advance()
+        char_size = None
+        if type_tok.value == "CHAR":
+            self.expect(OP, "(")
+            char_size = int(self.expect(NUMBER).value)
+            self.expect(OP, ")")
+        hidden = False
+        references = None
+        while True:
+            if self.accept(KW, "HIDDEN"):
+                hidden = True
+            elif self.accept(KW, "REFERENCES"):
+                references = self.expect(IDENT).value
+            elif self.accept(KW, "PRIMARY"):
+                self.expect(KW, "KEY")
+            elif self.accept(KW, "NOT"):
+                self.expect(KW, "NULL")
+            else:
+                break
+        return ColumnDef(name, type_tok.value, char_size, hidden, references)
+
+    # ------------------------------------------------------------------
+    def parse_select(self) -> SelectQuery:
+        self.expect(KW, "SELECT")
+        self.accept(KW, "DISTINCT")
+        items = [self.parse_select_item()]
+        while self.accept(OP, ","):
+            items.append(self.parse_select_item())
+        self.expect(KW, "FROM")
+        tables = [self.expect(IDENT).value]
+        while self.accept(OP, ","):
+            tables.append(self.expect(IDENT).value)
+        predicates: List = []
+        if self.accept(KW, "WHERE"):
+            predicates.append(self.parse_predicate())
+            while self.accept(KW, "AND"):
+                predicates.append(self.parse_predicate())
+        group_by: List[ColumnRef] = []
+        if self.accept(KW, "GROUP"):
+            self.expect(KW, "BY")
+            group_by.append(self.parse_column_ref())
+            while self.accept(OP, ","):
+                group_by.append(self.parse_column_ref())
+        return SelectQuery(tuple(items), tuple(tables), tuple(predicates),
+                           tuple(group_by))
+
+    def parse_select_item(self):
+        if self.accept(OP, "*"):
+            return Star()
+        tok = self.cur
+        if tok.kind == KW and tok.value in _AGG_FUNCS:
+            func = self.advance().value
+            self.expect(OP, "(")
+            if self.accept(OP, "*"):
+                if func != "COUNT":
+                    raise SqlSyntaxError(f"{func}(*) is not supported")
+                arg = None
+            else:
+                arg = self.parse_column_ref()
+            self.expect(OP, ")")
+            return Aggregate(func, arg)
+        first = self.expect(IDENT).value
+        if self.accept(OP, "."):
+            if self.accept(OP, "*"):
+                return Star(first)
+            return ColumnRef(first, self.expect(IDENT).value)
+        return ColumnRef(None, first)
+
+    def parse_column_ref(self) -> ColumnRef:
+        first = self.expect(IDENT).value
+        if self.accept(OP, "."):
+            return ColumnRef(first, self.expect(IDENT).value)
+        return ColumnRef(None, first)
+
+    def parse_literal(self) -> Value:
+        tok = self.cur
+        if tok.kind == NUMBER:
+            self.advance()
+            return float(tok.value) if "." in tok.value else int(tok.value)
+        if tok.kind == STRING:
+            self.advance()
+            return tok.value
+        raise SqlSyntaxError(
+            f"expected a literal, got {tok.value!r} at position {tok.pos}"
+        )
+
+    def parse_predicate(self):
+        column = self.parse_column_ref()
+        if self.accept(KW, "BETWEEN"):
+            low = self.parse_literal()
+            self.expect(KW, "AND")
+            high = self.parse_literal()
+            return BetweenPredicate(column, low, high)
+        if self.accept(KW, "IN"):
+            self.expect(OP, "(")
+            values = [self.parse_literal()]
+            while self.accept(OP, ","):
+                values.append(self.parse_literal())
+            self.expect(OP, ")")
+            return InPredicate(column, tuple(values))
+        op_tok = self.cur
+        if op_tok.kind != OP or op_tok.value not in ("=", "<", "<=", ">",
+                                                     ">="):
+            raise SqlSyntaxError(
+                f"expected a comparison operator, got {op_tok.value!r}"
+            )
+        self.advance()
+        if self.cur.kind == IDENT:
+            right = self.parse_column_ref()
+            if op_tok.value != "=":
+                raise SqlSyntaxError("only equi-joins are supported")
+            return JoinPredicate(column, right)
+        return Comparison(column, op_tok.value, self.parse_literal())
+
+
+def parse(text: str) -> Union[CreateTable, SelectQuery]:
+    """Parse one SQL statement."""
+    return _Parser(text).parse_statement()

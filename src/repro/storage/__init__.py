@@ -1,0 +1,18 @@
+"""On-flash storage formats: row codecs, heap files, packed ID runs."""
+
+from repro.storage.codec import CharType, ColumnType, FloatType, IntType, RowCodec
+from repro.storage.heap import HeapFile
+from repro.storage.runs import IdRun, U32FileBuilder, U32View, write_u32s
+
+__all__ = [
+    "CharType",
+    "ColumnType",
+    "FloatType",
+    "HeapFile",
+    "IdRun",
+    "IntType",
+    "RowCodec",
+    "U32FileBuilder",
+    "U32View",
+    "write_u32s",
+]

@@ -1,0 +1,125 @@
+"""Fixed-width row codecs.
+
+GhostDB tables use fixed-width attributes (the paper gives byte sizes
+for every column of both data sets), so a row is a fixed-size record
+and row *i* of a table lives at a computable offset -- which is what
+lets SKTs omit the sorted-on identifier and lets MJoin/Brute-Force seek
+straight to a tuple.
+
+Supported column types: ``IntType`` (2/4/8 bytes, signed), ``FloatType``
+(8 bytes IEEE), ``CharType(n)`` (NUL-padded UTF-8).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class IntType:
+    """Signed little-endian integer of ``size`` bytes (2, 4 or 8)."""
+
+    size: int = 4
+
+    def __post_init__(self):
+        if self.size not in (2, 4, 8):
+            raise StorageError(f"unsupported int size {self.size}")
+
+    @property
+    def width(self) -> int:
+        return self.size
+
+    def pack(self, value) -> bytes:
+        return int(value).to_bytes(self.size, "little", signed=True)
+
+    def unpack(self, raw: bytes):
+        return int.from_bytes(raw, "little", signed=True)
+
+
+@dataclass(frozen=True)
+class FloatType:
+    """IEEE-754 double (8 bytes)."""
+
+    @property
+    def width(self) -> int:
+        return 8
+
+    def pack(self, value) -> bytes:
+        return struct.pack("<d", float(value))
+
+    def unpack(self, raw: bytes):
+        return struct.unpack("<d", raw)[0]
+
+
+@dataclass(frozen=True)
+class CharType:
+    """Fixed-width character field of ``size`` bytes, NUL padded."""
+
+    size: int
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise StorageError("char size must be positive")
+
+    @property
+    def width(self) -> int:
+        return self.size
+
+    def pack(self, value) -> bytes:
+        raw = str(value).encode("utf-8")
+        if len(raw) > self.size:
+            raise StorageError(
+                f"string of {len(raw)} bytes exceeds char({self.size})"
+            )
+        return raw.ljust(self.size, b"\x00")
+
+    def unpack(self, raw: bytes):
+        return raw.rstrip(b"\x00").decode("utf-8")
+
+
+ColumnType = IntType | FloatType | CharType
+
+
+class RowCodec:
+    """Packs/unpacks tuples of values into fixed-width records."""
+
+    def __init__(self, types: Sequence[ColumnType]):
+        self.types = list(types)
+        self.offsets: list[int] = []
+        pos = 0
+        for t in self.types:
+            self.offsets.append(pos)
+            pos += t.width
+        self.row_width = pos
+
+    def pack(self, values: Sequence) -> bytes:
+        """Encode one row; value count must match the column count."""
+        if len(values) != len(self.types):
+            raise StorageError(
+                f"expected {len(self.types)} values, got {len(values)}"
+            )
+        return b"".join(t.pack(v) for t, v in zip(self.types, values))
+
+    def unpack(self, raw: bytes) -> Tuple:
+        """Decode one full row."""
+        if len(raw) < self.row_width:
+            raise StorageError(
+                f"row of {len(raw)} bytes, codec needs {self.row_width}"
+            )
+        out = []
+        for t, off in zip(self.types, self.offsets):
+            out.append(t.unpack(raw[off:off + t.width]))
+        return tuple(out)
+
+    def unpack_columns(self, raw: bytes, columns: Sequence[int]) -> Tuple:
+        """Decode only the requested column positions of one row."""
+        out = []
+        for c in columns:
+            t = self.types[c]
+            off = self.offsets[c]
+            out.append(t.unpack(raw[off:off + t.width]))
+        return tuple(out)

@@ -1,0 +1,126 @@
+"""Heap files of fixed-width rows with dense identifiers.
+
+Row ``i`` of a heap lives on page ``i // rows_per_page`` at a fixed
+offset, so point access reads one page and transfers only the row's
+bytes (the I/O charge reflects that).  Sequential scans transfer whole
+pages.  This is the storage format of every hidden table image and of
+the Subtree Key Tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.flash.store import FlashFile, FlashStore
+from repro.hardware.ram import SecureRam
+from repro.storage.codec import RowCodec
+
+
+class HeapFile:
+    """Fixed-width rows, addressed by dense row id."""
+
+    def __init__(self, file: FlashFile, codec: RowCodec, page_size: int):
+        if codec.row_width > page_size:
+            raise StorageError("row wider than a flash page")
+        self.file = file
+        self.codec = codec
+        self.page_size = page_size
+        self.rows_per_page = page_size // codec.row_width
+        self.n_rows = 0
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, store: FlashStore, name: str, codec: RowCodec,
+              rows: Iterable[Sequence], page_size: int,
+              ram: Optional[SecureRam] = None) -> "HeapFile":
+        """Bulk-load ``rows`` (in id order) into a new heap file.
+
+        Holds one page buffer while building; the buffer is accounted in
+        secure RAM when ``ram`` is given.
+        """
+        heap = cls(store.create(name), codec, page_size)
+        buf = ram.alloc_buffer(f"heap build {name}") if ram else None
+        try:
+            page = bytearray()
+            for row in rows:
+                page.extend(codec.pack(row))
+                heap.n_rows += 1
+                if len(page) + codec.row_width > page_size:
+                    heap.file.append_page(bytes(page))
+                    page.clear()
+            if page:
+                heap.file.append_page(bytes(page))
+        finally:
+            if buf:
+                buf.free()
+        return heap
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def _locate(self, rid: int) -> Tuple[int, int]:
+        if not 0 <= rid < self.n_rows:
+            raise StorageError(
+                f"row {rid} out of range ({self.n_rows} rows)"
+            )
+        return rid // self.rows_per_page, (rid % self.rows_per_page) * self.codec.row_width
+
+    def get_row(self, rid: int) -> Tuple:
+        """Random access: read one row, transferring only its bytes."""
+        page, offset = self._locate(rid)
+        raw = self.file.read_page(page, nbytes=self.codec.row_width,
+                                  offset=offset)
+        return self.codec.unpack(raw)
+
+    def get_columns(self, rid: int, columns: Sequence[int]) -> Tuple:
+        """Random access restricted to some column positions."""
+        page, offset = self._locate(rid)
+        raw = self.file.read_page(page, nbytes=self.codec.row_width,
+                                  offset=offset)
+        return self.codec.unpack_columns(raw, columns)
+
+    def scan(self, columns: Optional[Sequence[int]] = None) -> Iterator[Tuple]:
+        """Sequential scan in id order, one page in RAM at a time."""
+        rid = 0
+        for page_idx in range(self.file.n_pages):
+            n_here = min(self.rows_per_page, self.n_rows - rid)
+            raw = self.file.read_page(
+                page_idx, nbytes=n_here * self.codec.row_width
+            )
+            for i in range(n_here):
+                chunk = raw[i * self.codec.row_width:(i + 1) * self.codec.row_width]
+                if columns is None:
+                    yield self.codec.unpack(chunk)
+                else:
+                    yield self.codec.unpack_columns(chunk, columns)
+            rid += n_here
+            if rid >= self.n_rows:
+                break
+
+    def page_of_row(self, rid: int) -> int:
+        """Which file page holds row ``rid`` (used by page-skipping scans)."""
+        return rid // self.rows_per_page
+
+    def read_rows_on_page(self, page_idx: int,
+                          columns: Optional[Sequence[int]] = None
+                          ) -> list[Tuple[int, Tuple]]:
+        """Read one page and return ``(rid, row)`` pairs it contains."""
+        first = page_idx * self.rows_per_page
+        n_here = min(self.rows_per_page, self.n_rows - first)
+        if n_here <= 0:
+            return []
+        raw = self.file.read_page(page_idx, nbytes=n_here * self.codec.row_width)
+        out = []
+        for i in range(n_here):
+            chunk = raw[i * self.codec.row_width:(i + 1) * self.codec.row_width]
+            row = (self.codec.unpack(chunk) if columns is None
+                   else self.codec.unpack_columns(chunk, columns))
+            out.append((first + i, row))
+        return out
+
+    def free(self) -> None:
+        """Release the underlying flash file."""
+        self.file.free()

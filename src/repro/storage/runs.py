@@ -1,0 +1,181 @@
+"""Packed 32-bit ID sequences on flash, and sorted-run views over them.
+
+Lists of tuple identifiers are the currency of GhostDB query
+processing: climbing-index entries, Vis results, Merge inputs/outputs
+and the columns of the QEPSJ result are all sequences of 4-byte IDs.
+They are packed 512 per 2 KB page.  A :class:`U32View` is a slice of
+such a file (``start`` ids in, ``count`` ids long) -- climbing-index
+sublists are views into one shared, value-ordered run file, so range
+predicates scan contiguous pages.
+
+Reading a view holds exactly **one** RAM buffer; writing holds one as
+well.  That is what makes the Merge operator's "one buffer per open
+(sub)list plus one output buffer" accounting real rather than
+aspirational.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.errors import StorageError
+from repro.flash.constants import ID_SIZE
+from repro.flash.store import FlashFile, FlashStore
+from repro.hardware.ram import Allocation, SecureRam
+
+
+class U32FileBuilder:
+    """Append-only builder of a packed u32 file; hands out views.
+
+    Holds a single page buffer for the whole build (accounted in secure
+    RAM when ``ram`` is provided).
+    """
+
+    def __init__(self, store: FlashStore, ram: Optional[SecureRam] = None,
+                 name: Optional[str] = None, label: str = "u32 build"):
+        self.file = store.create(name) if name else store.create_temp()
+        self.page_size = store.ftl.params.page_size
+        self.per_page = self.page_size // ID_SIZE
+        self._buf_alloc = ram.alloc_buffer(label) if ram else None
+        self._buffer = bytearray()
+        self.count = 0
+        self._finished = False
+
+    def add(self, value: int) -> None:
+        """Append one unsigned 32-bit value."""
+        self._buffer += int(value).to_bytes(ID_SIZE, "little")
+        self.count += 1
+        if len(self._buffer) >= self.page_size:
+            self.file.append_page(bytes(self._buffer))
+            self._buffer.clear()
+
+    def extend(self, values: Iterable[int]) -> None:
+        for v in values:
+            self.add(v)
+
+    def mark(self) -> int:
+        """Current position (in ids); use to delimit views."""
+        return self.count
+
+    def view(self, start: int, count: int) -> "U32View":
+        """A view over ``[start, start+count)`` of the finished file."""
+        return U32View(self.file, start, count)
+
+    def finish(self) -> "U32View":
+        """Flush the tail page, free the buffer, return the full view."""
+        if not self._finished:
+            if self._buffer:
+                self.file.append_page(bytes(self._buffer))
+                self._buffer.clear()
+            if self._buf_alloc:
+                self._buf_alloc.free()
+            self._finished = True
+        return U32View(self.file, 0, self.count)
+
+
+class U32View:
+    """A slice of a packed u32 flash file: ``count`` ids from ``start``."""
+
+    __slots__ = ("file", "start", "count")
+
+    def __init__(self, file: FlashFile, start: int, count: int):
+        self.file = file
+        self.start = start
+        self.count = count
+
+    def iterate(self, ram: Optional[SecureRam] = None,
+                label: str = "run read") -> Iterator[int]:
+        """Yield the ids in order, holding one RAM buffer while open.
+
+        Each touched page is read once; only the bytes belonging to the
+        view are transferred to RAM (and charged).
+        """
+        if self.count == 0:
+            return
+        page_size = self.file._store.ftl.params.page_size
+        per_page = page_size // ID_SIZE
+        buf = ram.alloc_buffer(label) if ram else None
+        try:
+            pos = self.start
+            end = self.start + self.count
+            while pos < end:
+                page_idx = pos * ID_SIZE // page_size
+                in_page = pos - page_idx * per_page
+                take = min(end - pos, per_page - in_page)
+                raw = self.file.read_page(
+                    page_idx, nbytes=take * ID_SIZE, offset=in_page * ID_SIZE
+                )
+                if len(raw) != take * ID_SIZE:
+                    raise StorageError(
+                        f"short read in u32 view of {self.file.name!r}"
+                    )
+                for i in range(take):
+                    yield int.from_bytes(raw[i * ID_SIZE:(i + 1) * ID_SIZE],
+                                         "little")
+                pos += take
+        finally:
+            if buf:
+                buf.free()
+
+    def to_list(self, ram: Optional[SecureRam] = None) -> List[int]:
+        """Materialize the whole view as a Python list (caller accounts RAM)."""
+        return list(self.iterate(ram))
+
+
+def write_u32s(store: FlashStore, values: Iterable[int],
+               ram: Optional[SecureRam] = None,
+               label: str = "u32 write") -> U32View:
+    """Write a fresh packed u32 temp file holding ``values``."""
+    builder = U32FileBuilder(store, ram, label=label)
+    builder.extend(values)
+    return builder.finish()
+
+
+class IdRun:
+    """A sorted run of ids: either flash-resident or RAM-resident.
+
+    ``IdRun`` is the Merge operator's input unit.  ``buffers_needed``
+    tells the planner how many page buffers an open cursor costs
+    (1 for flash views, 0 for RAM lists whose bytes are accounted by
+    their owner).
+    """
+
+    __slots__ = ("view", "ids")
+
+    def __init__(self, view: Optional[U32View] = None,
+                 ids: Optional[List[int]] = None):
+        if (view is None) == (ids is None):
+            raise StorageError("IdRun needs exactly one of view/ids")
+        self.view = view
+        self.ids = ids
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def memory(cls, ids: List[int]) -> "IdRun":
+        return cls(ids=ids)
+
+    @classmethod
+    def flash(cls, view: U32View) -> "IdRun":
+        return cls(view=view)
+
+    @property
+    def count(self) -> int:
+        return len(self.ids) if self.ids is not None else self.view.count
+
+    @property
+    def buffers_needed(self) -> int:
+        """Page buffers an open cursor costs (empty runs read nothing)."""
+        if self.ids is not None or self.view.count == 0:
+            return 0
+        return 1
+
+    @property
+    def ram_bytes(self) -> int:
+        """Bytes of secure RAM this run occupies while *stored* (not read)."""
+        return len(self.ids) * ID_SIZE if self.ids is not None else 0
+
+    def iterate(self, ram: Optional[SecureRam] = None,
+                label: str = "run read") -> Iterator[int]:
+        if self.ids is not None:
+            return iter(self.ids)
+        return self.view.iterate(ram, label)

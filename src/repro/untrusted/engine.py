@@ -1,0 +1,126 @@
+"""The Untrusted engine: Visible data storage and selection.
+
+Untrusted is the powerful, insecure side (a PC and/or remote servers).
+It stores the Visible image of every table -- the visible columns plus
+the replicated surrogate key -- and is granted exactly three rights
+(paper section 3.3):
+
+1. compute the Visible predicates of a query,
+2. project the result on Visible columns,
+3. send the result to Secure.
+
+Its compute time is considered free relative to the token (it is "the
+powerful personal computer"); only the *communication* of its results
+into Secure is charged, by the :class:`VisServer`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.schema.model import Column, Schema, Table
+
+
+@dataclass(frozen=True)
+class VisPredicate:
+    """One visible selection, as shipped inside a Vis request."""
+
+    column: str
+    op: str                      # = < <= > >= between in
+    value: object = None
+    value2: object = None
+    values: Optional[Tuple] = None
+
+    def matches(self, cell) -> bool:
+        if self.op == "=":
+            return cell == self.value
+        if self.op == "<":
+            return cell < self.value
+        if self.op == "<=":
+            return cell <= self.value
+        if self.op == ">":
+            return cell > self.value
+        if self.op == ">=":
+            return cell >= self.value
+        if self.op == "between":
+            return self.value <= cell <= self.value2
+        if self.op == "in":
+            return cell in (self.values or ())
+        raise StorageError(f"unknown predicate op {self.op!r}")
+
+
+class UntrustedEngine:
+    """In-memory store of the Visible images of all tables."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        # per table: list of visible-column tuples, position == id
+        self._rows: Dict[str, List[Tuple]] = {
+            name: [] for name in schema.tables
+        }
+        self._visible_cols: Dict[str, List[Column]] = {
+            name: schema.table(name).visible_columns
+            for name in schema.tables
+        }
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load(self, table: str, visible_rows: Sequence[Tuple]) -> None:
+        """Append visible rows (id = current cardinality + position)."""
+        cols = self._visible_cols[table]
+        for row in visible_rows:
+            if len(row) != len(cols):
+                raise StorageError(
+                    f"{table}: expected {len(cols)} visible values, "
+                    f"got {len(row)}"
+                )
+            self._rows[table].append(tuple(row))
+
+    def n_rows(self, table: str) -> int:
+        return len(self._rows[table])
+
+    def visible_columns(self, table: str) -> List[Column]:
+        return list(self._visible_cols[table])
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _col_pos(self, table: str, column: str) -> int:
+        for i, c in enumerate(self._visible_cols[table]):
+            if c.name == column:
+                return i
+        raise StorageError(
+            f"{column!r} is not a visible column of {table!r}"
+        )
+
+    def select_ids(self, table: str,
+                   predicates: Sequence[VisPredicate]) -> List[int]:
+        """IDs of rows satisfying all ``predicates`` (sorted)."""
+        positions = [self._col_pos(table, p.column) for p in predicates]
+        out = []
+        for rid, row in enumerate(self._rows[table]):
+            if all(p.matches(row[pos])
+                   for p, pos in zip(predicates, positions)):
+                out.append(rid)
+        return out
+
+    def select_rows(self, table: str, predicates: Sequence[VisPredicate],
+                    columns: Sequence[str]) -> List[Tuple]:
+        """``(id, col...)`` tuples for matching rows, sorted by id."""
+        positions = [self._col_pos(table, c) for c in columns]
+        pred_pos = [self._col_pos(table, p.column) for p in predicates]
+        out = []
+        for rid, row in enumerate(self._rows[table]):
+            if all(p.matches(row[pos])
+                   for p, pos in zip(predicates, pred_pos)):
+                out.append((rid, *(row[pos] for pos in positions)))
+        return out
+
+    def count(self, table: str,
+              predicates: Sequence[VisPredicate]) -> int:
+        """Cardinality of the visible selection (planner statistics)."""
+        return len(self.select_ids(table, predicates))

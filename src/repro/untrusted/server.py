@@ -1,0 +1,112 @@
+"""The Vis protocol: how Secure obtains Visible data.
+
+``Vis(Q, T, pi)`` is the only operator that crosses the trust boundary.
+The Secure token sends a *request* (derived solely from the public
+query text) out through the audited channel, Untrusted evaluates the
+visible predicates, and the result -- a list of IDs sorted on ``T.id``,
+optionally with visible attribute values -- flows back in.
+
+Irrelevant visible rows (rows matching the visible predicates but
+doomed by hidden ones) cannot be filtered out before reaching Secure
+without leaking hidden information, so the transfer is deliberately
+oversized; Secure filters them quickly after arrival.  Both directions
+are charged at the channel's throughput.
+
+A dedicated channel buffer inside the token receives the download, so
+a Vis transfer consumes no secure RAM by itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.flash.constants import ID_SIZE
+from repro.hardware.token import SecureToken
+from repro.untrusted.engine import UntrustedEngine, VisPredicate
+
+
+@dataclass(frozen=True)
+class VisRequest:
+    """What Secure asks of Untrusted -- all fields are query-derived."""
+
+    table: str
+    predicates: Tuple[VisPredicate, ...]
+    columns: Tuple[str, ...] = ()
+
+    def wire_size(self) -> int:
+        """Approximate request size on the wire, in bytes."""
+        size = len(self.table) + 2
+        for p in self.predicates:
+            size += len(p.column) + len(p.op) + 12
+        size += sum(len(c) + 1 for c in self.columns)
+        return size
+
+
+class VisResult:
+    """A Vis download parked in the token's dedicated channel buffer."""
+
+    def __init__(self, ids: List[int], rows: Optional[List[Tuple]] = None):
+        self.ids = ids              # sorted on T.id
+        self._rows = rows           # (id, col...) tuples, or None
+
+    @property
+    def rows(self) -> List[Tuple]:
+        """``(id, col...)`` tuples; id-only results synthesize ``(id,)``."""
+        if self._rows is None:
+            return [(i,) for i in self.ids]
+        return self._rows
+
+    @property
+    def count(self) -> int:
+        return len(self.ids)
+
+
+class VisServer:
+    """Couples an :class:`UntrustedEngine` with a token's channel."""
+
+    def __init__(self, engine: UntrustedEngine, token: SecureToken):
+        self.engine = engine
+        self.token = token
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    def _row_width(self, table: str, columns: Sequence[str]) -> int:
+        widths = {
+            c.name: c.type.width
+            for c in self.engine.visible_columns(table)
+        }
+        return ID_SIZE + sum(widths[c] for c in columns)
+
+    def vis(self, request: VisRequest) -> VisResult:
+        """Execute one Vis exchange, charging both channel directions."""
+        self.token.channel.to_untrusted(
+            request.wire_size(), kind="vis_request",
+            description=f"Vis({request.table})",
+        )
+        self.requests_served += 1
+        if request.columns:
+            rows = self.engine.select_rows(
+                request.table, request.predicates, request.columns
+            )
+            ids = [r[0] for r in rows]
+            nbytes = len(rows) * self._row_width(request.table,
+                                                 request.columns)
+            self.token.channel.to_secure(nbytes, f"Vis({request.table})")
+            return VisResult(ids=ids, rows=rows)
+        ids = self.engine.select_ids(request.table, request.predicates)
+        self.token.channel.to_secure(len(ids) * ID_SIZE,
+                                     f"Vis({request.table}) ids")
+        return VisResult(ids=ids)
+
+    def count(self, table: str,
+              predicates: Sequence[VisPredicate]) -> int:
+        """Count-only exchange (used by the cost-based planner)."""
+        req = VisRequest(table, tuple(predicates))
+        self.token.channel.to_untrusted(
+            req.wire_size(), kind="vis_request",
+            description=f"Vis-count({table})",
+        )
+        self.token.channel.to_secure(ID_SIZE, "vis count")
+        self.requests_served += 1
+        return self.engine.count(table, predicates)

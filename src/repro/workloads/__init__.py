@@ -1,0 +1,26 @@
+"""Workload generators and query templates for the experiments."""
+
+from repro.workloads.medical import MedicalConfig, build_medical
+from repro.workloads.queries import (
+    medical_query_q,
+    query_q,
+    query_q_projections,
+    query_q_with_hidden_projection,
+)
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    build_synthetic,
+    sv_to_v1_bound,
+)
+
+__all__ = [
+    "MedicalConfig",
+    "SyntheticConfig",
+    "build_medical",
+    "build_synthetic",
+    "medical_query_q",
+    "query_q",
+    "query_q_projections",
+    "query_q_with_hidden_projection",
+    "sv_to_v1_bound",
+]

@@ -1,0 +1,18 @@
+"""Shared fixtures: a small synthetic database built once per module."""
+
+import pytest
+
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+
+
+@pytest.fixture(scope="module")
+def db():
+    """Small synthetic GhostDB (T0 = 20K tuples)."""
+    return build_synthetic(SyntheticConfig(scale=0.002, full_indexing=True))
+
+
+@pytest.fixture(scope="module")
+def tiny_db():
+    """Minimum-size synthetic GhostDB for exhaustive checks."""
+    return build_synthetic(SyntheticConfig(scale=0.0005,
+                                           full_indexing=True))

@@ -1,0 +1,164 @@
+"""Unit and property tests for the RAM-bounded Merge operator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.merge import MergeOperator, intersect_iters, union_runs
+from repro.errors import PlanError
+from repro.flash.constants import FlashParams
+from repro.flash.ftl import Ftl
+from repro.flash.nand import NandFlash
+from repro.flash.stats import CostLedger
+from repro.flash.store import FlashStore
+from repro.hardware.ram import SecureRam
+from repro.storage.runs import IdRun, write_u32s
+
+PAGE = 64  # 16 ids per page
+
+
+def make_env(ram_pages=8):
+    params = FlashParams(page_size=PAGE, n_blocks=1024, pages_per_block=8)
+    store = FlashStore(Ftl(NandFlash(params), CostLedger(), params))
+    ram = SecureRam(capacity=ram_pages * PAGE, page_size=PAGE)
+    return store, ram
+
+
+def flash_run(store, ids):
+    return IdRun.flash(write_u32s(store, ids))
+
+
+def test_union_of_sorted_runs():
+    store, ram = make_env()
+    runs = [flash_run(store, [1, 5, 9]), flash_run(store, [2, 5, 7]),
+            IdRun.memory([5, 100])]
+    assert list(union_runs(runs, ram)) == [1, 2, 5, 7, 9, 100]
+
+
+def test_intersection_semantics():
+    store, ram = make_env()
+    op = MergeOperator(store, ram)
+    g1 = [flash_run(store, [1, 2, 3, 4, 5])]
+    g2 = [flash_run(store, [2, 4, 6]), flash_run(store, [5])]
+    assert list(op.stream([g1, g2])) == [2, 4, 5]
+
+
+def test_empty_group_kills_intersection():
+    store, ram = make_env()
+    op = MergeOperator(store, ram)
+    g1 = [flash_run(store, [1, 2])]
+    assert list(op.stream([g1, []])) == []
+
+
+def test_no_groups_yields_nothing():
+    store, ram = make_env()
+    op = MergeOperator(store, ram)
+    assert list(op.stream([])) == []
+
+
+def test_single_group_dedupes():
+    store, ram = make_env()
+    op = MergeOperator(store, ram)
+    g = [flash_run(store, [1, 3]), flash_run(store, [1, 3, 8])]
+    assert list(op.stream([g])) == [1, 3, 8]
+
+
+def test_reduction_phase_under_ram_pressure():
+    """More sublists than buffers forces the reduction phase."""
+    store, ram = make_env(ram_pages=4)
+    op = MergeOperator(store, ram)
+    group = [flash_run(store, [i, i + 50]) for i in range(10)]
+    got = list(op.stream([group], reserve_buffers=0))
+    assert got == sorted({i for i in range(10)} | {i + 50 for i in range(10)})
+    assert op.reductions > 0
+
+
+def test_reduction_writes_are_charged():
+    store, ram = make_env(ram_pages=4)
+    ledger = store.ftl.ledger
+    op = MergeOperator(store, ram)
+    group = [flash_run(store, list(range(i, 200 + i, 7))) for i in range(12)]
+    ledger.reset()
+    list(op.stream([group]))
+    assert ledger.counters["pages_written"] > 0  # reduction temps
+    assert ledger.time_us_by_label["Merge"]
+
+
+def test_impossible_budget_raises():
+    """With literally no free buffer, Merge cannot run at all."""
+    store, ram = make_env(ram_pages=2)
+    ram.alloc(2 * PAGE, "hog")
+    op = MergeOperator(store, ram)
+    group = [flash_run(store, [1])]
+    with pytest.raises(PlanError):
+        list(op.stream([group]))
+
+
+def test_advisory_reserve_does_not_starve_merge():
+    """A large reserve degrades to 'at least one open run' rather than
+    failing, so tight-RAM plans still execute."""
+    store, ram = make_env(ram_pages=3)
+    op = MergeOperator(store, ram)
+    group = [flash_run(store, [1, 2, 3])]
+    assert list(op.stream([group], reserve_buffers=10)) == [1, 2, 3]
+
+
+def test_buffers_freed_after_stream():
+    store, ram = make_env(ram_pages=8)
+    op = MergeOperator(store, ram)
+    groups = [[flash_run(store, list(range(40)))],
+              [flash_run(store, list(range(0, 40, 2)))]]
+    list(op.stream(groups))
+    assert ram.used == 0
+
+
+def test_buffers_freed_on_early_abandonment():
+    store, ram = make_env(ram_pages=8)
+    op = MergeOperator(store, ram)
+    groups = [[flash_run(store, list(range(100)))],
+              [flash_run(store, list(range(100)))]]
+    stream = op.stream(groups)
+    next(stream)
+    stream.close()
+    assert ram.used == 0
+
+
+def test_to_flash_materializes():
+    store, ram = make_env()
+    op = MergeOperator(store, ram)
+    g = [flash_run(store, [3, 1, 2][::-1])]  # [2,1,3] reversed = sorted
+    view = op.to_flash([[flash_run(store, [1, 2, 3])]])
+    assert list(view.iterate()) == [1, 2, 3]
+    assert ram.used == 0
+
+
+def test_intersect_iters_plain():
+    got = list(intersect_iters([iter([1, 2, 3, 7]), iter([2, 7, 9])]))
+    assert got == [2, 7]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.lists(  # groups
+            st.sets(st.integers(0, 300), max_size=60),  # runs as sets
+            min_size=1, max_size=4,
+        ),
+        min_size=1, max_size=4,
+    ),
+    st.integers(min_value=6, max_value=12),
+)
+def test_property_merge_equals_set_algebra(groups_sets, ram_pages):
+    store, ram = make_env(ram_pages=ram_pages)
+    op = MergeOperator(store, ram)
+    groups = [
+        [flash_run(store, sorted(s)) for s in group]
+        for group in groups_sets
+    ]
+    expected = None
+    for group in groups_sets:
+        union = set().union(*group) if group else set()
+        expected = union if expected is None else expected & union
+    got = list(op.stream(groups))
+    assert got == sorted(expected)
+    assert ram.used == 0

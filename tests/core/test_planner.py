@@ -1,0 +1,85 @@
+"""Unit tests for the cost-based planner and plan descriptions."""
+
+import pytest
+
+from repro.core.plan import ProjectionMode, VisStrategy
+from repro.errors import PlanError
+from repro.workloads.queries import query_q
+from repro.workloads.synthetic import sv_to_v1_bound
+
+
+def plan_for(db, sv, **kwargs):
+    return db.plan_query(query_q(sv), **kwargs)
+
+
+def test_auto_picks_pre_at_high_selectivity(db):
+    plan = plan_for(db, 0.01)
+    assert plan.vis_plans["T1"].strategy is VisStrategy.PRE
+
+
+def test_auto_picks_post_at_medium_selectivity(db):
+    plan = plan_for(db, 0.3)
+    assert plan.vis_plans["T1"].strategy is VisStrategy.POST
+
+
+def test_auto_picks_nofilter_at_low_selectivity(db):
+    """Paper Fig. 10: beyond sV=0.5 the Bloom filter 'is simply not
+    executed and the selection is postponed to projection time'."""
+    plan = plan_for(db, 0.9)
+    assert plan.vis_plans["T1"].strategy is VisStrategy.NOFILTER
+
+
+def test_cross_on_by_default_when_available(db):
+    plan = plan_for(db, 0.1)
+    assert plan.vis_plans["T1"].cross
+
+
+def test_cross_unavailable_without_subtree_hidden_selection(db):
+    # visible on T1, hidden on T0 only: T0 is an ancestor, not a
+    # descendant, so its index cannot deliver T1 sublists
+    sql = ("SELECT T0.id FROM T0, T1 WHERE T0.fk1 = T1.id "
+           f"AND T1.v1 < {sv_to_v1_bound(0.1)} AND T0.h3 = 1")
+    plan = db.plan_query(sql, cross=True)
+    assert not plan.vis_plans["T1"].cross
+
+
+def test_explicit_override_respected(db):
+    plan = plan_for(db, 0.01, vis_strategy="post", cross=False)
+    assert plan.vis_plans["T1"].strategy is VisStrategy.POST
+    assert not plan.vis_plans["T1"].cross
+
+
+def test_anchor_visible_selection_is_always_pre(db):
+    sql = "SELECT T0.id FROM T0 WHERE T0.v1 < 900 AND T0.h3 = 1"
+    plan = db.plan_query(sql, vis_strategy="post")
+    assert plan.vis_plans["T0"].strategy is VisStrategy.PRE
+
+
+def test_unknown_strategy_rejected(db):
+    with pytest.raises(PlanError):
+        db.plan_query(query_q(0.1), vis_strategy="warp-speed")
+
+
+def test_unknown_projection_mode_rejected(db):
+    with pytest.raises(PlanError):
+        db.plan_query(query_q(0.1), projection="quantum")
+
+
+def test_projection_mode_coercion(db):
+    plan = db.plan_query(query_q(0.1), projection=ProjectionMode.BRUTE_FORCE)
+    assert plan.projection_mode is ProjectionMode.BRUTE_FORCE
+
+
+def test_plan_describe_mentions_strategies(db):
+    text = db.explain(query_q(0.05), vis_strategy="post", cross=True)
+    assert "anchor: T0" in text
+    assert "Cross-Post-Filter" in text
+    assert "climbing index" in text
+
+
+def test_planner_probe_is_leak_free(db):
+    """Cost-based planning sends only count requests (query-derived)."""
+    db.token.channel.stats.outbound_log.clear()
+    db.plan_query(query_q(0.2))
+    kinds = {m.kind for m in db.audit_outbound()}
+    assert kinds <= {"vis_request"}

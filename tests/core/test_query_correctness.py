@@ -1,0 +1,148 @@
+"""Every strategy/projection combination must match the reference
+oracle exactly -- the central correctness property of the engine."""
+
+import pytest
+
+from repro.workloads.queries import query_q, query_q_with_hidden_projection
+
+ALL_STRATEGIES = ["pre", "post", "post-select", "nofilter", None]
+
+
+def check(db, sql, **kwargs):
+    expected = sorted(db.reference_query(sql)[1])
+    result = db.query(sql, **kwargs)
+    assert sorted(result.rows) == expected
+    assert db.token.ram.used == 0, "operator leaked secure RAM"
+    return result
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+@pytest.mark.parametrize("cross", [True, False])
+def test_query_q_all_strategies(db, strategy, cross):
+    check(db, query_q(0.05), vis_strategy=strategy, cross=cross)
+
+
+@pytest.mark.parametrize("sv", [0.001, 0.01, 0.2, 0.5, 0.9])
+def test_query_q_selectivity_sweep(db, sv):
+    check(db, query_q(sv))
+
+
+@pytest.mark.parametrize("mode", ["project", "project-nobf", "brute-force"])
+def test_projection_modes(db, mode):
+    check(db, query_q_with_hidden_projection(0.05), projection=mode)
+
+
+@pytest.mark.parametrize("strategy", ["pre", "post"])
+def test_hidden_projection_after_post_filter(db, strategy):
+    """Bloom false positives must be gone from the final result."""
+    check(db, query_q_with_hidden_projection(0.3), vis_strategy=strategy)
+
+
+def test_mono_table_selection_visible(db):
+    check(db, "SELECT T2.id FROM T2 WHERE T2.v1 < 50")
+
+
+def test_mono_table_selection_hidden(db):
+    check(db, "SELECT T2.id FROM T2 WHERE T2.h1 = 3")
+
+
+def test_mono_table_mixed_paper_example(db):
+    """The paper's Patients example: one visible + one hidden predicate."""
+    check(db, "SELECT T0.id FROM T0 WHERE T0.v1 = 50 AND T0.h3 = 3")
+
+
+def test_root_only_hidden_selection(db):
+    check(db, "SELECT T0.id FROM T0 WHERE T0.h3 = 7")
+
+
+def test_no_predicates_at_all(db):
+    result = check(db, "SELECT T12.id FROM T12")
+    assert result.stats.result_rows == db.catalog.n_rows("T12")
+
+
+def test_subtree_query_anchored_below_root(db):
+    """FullIndex speeds up queries not involving the root (section 6.3)."""
+    check(db, "SELECT T1.id, T12.id FROM T1, T12 "
+              "WHERE T1.fk12 = T12.id AND T12.h2 = 4 AND T1.v1 < 100")
+
+
+def test_three_level_join(db):
+    check(db, "SELECT T0.id FROM T0, T1, T12 "
+              "WHERE T0.fk1 = T1.id AND T1.fk12 = T12.id "
+              "AND T12.h1 = 5 AND T12.h2 = 2")
+
+
+def test_two_children_join(db):
+    check(db, "SELECT T0.id, T2.id FROM T0, T2 "
+              "WHERE T0.fk2 = T2.id AND T2.h1 = 1 AND T0.v1 < 20")
+
+
+def test_range_predicates_on_hidden(db):
+    check(db, "SELECT T12.id FROM T12 WHERE T12.h2 >= 7")
+    check(db, "SELECT T12.id FROM T12 WHERE T12.h2 BETWEEN 3 AND 5")
+
+
+def test_in_predicate_on_visible(db):
+    check(db, "SELECT T1.id FROM T1 WHERE T1.v1 IN (1, 5, 99)")
+
+
+def test_projection_of_visible_and_hidden_values(db):
+    sql = ("SELECT T0.id, T0.v1, T0.h3, T1.v1, T1.h1, T12.h2 "
+           "FROM T0, T1, T12 "
+           "WHERE T0.fk1 = T1.id AND T1.fk12 = T12.id AND T1.v1 < 30")
+    check(db, sql)
+
+
+def test_projection_of_foreign_key(db):
+    """A projected hidden fk equals the joined child's id."""
+    sql = ("SELECT T0.fk1, T1.id FROM T0, T1 "
+           "WHERE T0.fk1 = T1.id AND T1.h1 = 2")
+    result = check(db, sql)
+    for fk, t1_id in result.rows:
+        assert fk == t1_id
+
+
+def test_empty_result(db):
+    result = check(db, "SELECT T12.id FROM T12 WHERE T12.h2 = 999")
+    assert result.rows == []
+
+
+def test_star_projection(tiny_db):
+    check(tiny_db, "SELECT T12.* FROM T12 WHERE T12.h2 = 1")
+
+
+def test_duplicate_anchor_ids_never_returned(db):
+    result = check(db, query_q(0.2))
+    anchor_ids = [row[0] for row in result.rows]
+    assert len(anchor_ids) == len(set(anchor_ids))
+
+
+def test_rows_sorted_by_anchor_id(db):
+    """QEPSJ delivers anchor IDs sorted; projection preserves order."""
+    result = db.query(query_q(0.1))
+    anchor_ids = [row[0] for row in result.rows]
+    assert anchor_ids == sorted(anchor_ids)
+
+
+def test_aggregates_match_reference(db):
+    sql = ("SELECT COUNT(*), MIN(T12.h1), MAX(T12.h1), SUM(T12.h1) "
+           "FROM T12 WHERE T12.h2 = 3")
+    names, expected = db.reference_query(sql)
+    result = db.query(sql)
+    assert result.rows == expected
+    assert result.columns == names
+
+
+def test_group_by_matches_reference(db):
+    sql = ("SELECT T12.h1, COUNT(*) FROM T12 WHERE T12.h2 < 5 "
+           "GROUP BY T12.h1")
+    _, expected = db.reference_query(sql)
+    result = db.query(sql)
+    assert sorted(result.rows) == sorted(expected)
+
+
+def test_avg_aggregate(db):
+    sql = "SELECT AVG(T2.h1) FROM T2 WHERE T2.v1 < 10"
+    _, expected = db.reference_query(sql)
+    result = db.query(sql)
+    assert result.rows[0][0] == pytest.approx(expected[0][0])

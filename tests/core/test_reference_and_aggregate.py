@@ -1,0 +1,117 @@
+"""Unit tests for the reference oracle and aggregate evaluation."""
+
+import pytest
+
+from repro.core.aggregate import apply_aggregates, effective_projections
+from repro.core.reference import ReferenceEngine
+from repro.schema.ddl import schema_from_sql
+from repro.sql.binder import Binder
+
+DDL = [
+    "CREATE TABLE P (id int, fk int HIDDEN REFERENCES C, v int, "
+    "h int HIDDEN)",
+    "CREATE TABLE C (id int, g int, x int HIDDEN)",
+]
+
+ROWS = {
+    "C": [(0, 10), (1, 20), (0, 30)],           # (g, x)
+    "P": [(0, 5, 1), (1, 6, 2), (2, 7, 3), (0, 8, 4)],  # (fk, v, h)
+}
+
+
+@pytest.fixture
+def env():
+    schema = schema_from_sql(DDL)
+    return Binder(schema), ReferenceEngine(schema, ROWS)
+
+
+def test_reference_joins_follow_fk(env):
+    binder, ref = env
+    _, rows = ref.execute(binder.bind_sql(
+        "SELECT P.id, C.id FROM P, C WHERE P.fk = C.id"
+    ))
+    assert rows == [(0, 0), (1, 1), (2, 2), (3, 0)]
+
+
+def test_reference_selections(env):
+    binder, ref = env
+    _, rows = ref.execute(binder.bind_sql(
+        "SELECT P.id FROM P, C WHERE P.fk = C.id AND C.g = 0 AND P.v > 5"
+    ))
+    assert rows == [(2,), (3,)]
+
+
+def test_reference_projects_hidden_and_visible(env):
+    binder, ref = env
+    _, rows = ref.execute(binder.bind_sql(
+        "SELECT P.v, P.h, C.x FROM P, C WHERE P.fk = C.id AND P.h <= 2"
+    ))
+    assert rows == [(5, 1, 10), (6, 2, 20)]
+
+
+def test_reference_between_and_in(env):
+    binder, ref = env
+    _, rows = ref.execute(binder.bind_sql(
+        "SELECT P.id FROM P WHERE P.v BETWEEN 6 AND 7"
+    ))
+    assert rows == [(1,), (2,)]
+    _, rows = ref.execute(binder.bind_sql(
+        "SELECT P.id FROM P WHERE P.h IN (1, 4)"
+    ))
+    assert rows == [(0,), (3,)]
+
+
+def test_reference_aggregates(env):
+    binder, ref = env
+    names, rows = ref.execute(binder.bind_sql(
+        "SELECT C.g, COUNT(*), SUM(P.v) FROM P, C WHERE P.fk = C.id "
+        "GROUP BY C.g"
+    ))
+    assert names == ["C.g", "COUNT(*)", "SUM(P.v)"]
+    assert rows == [(0, 3, 20), (1, 1, 6)]
+
+
+# ---------------------------------------------------------------------------
+# aggregate helpers
+# ---------------------------------------------------------------------------
+
+def test_effective_projections_include_agg_args(env):
+    binder, _ = env
+    bound = binder.bind_sql(
+        "SELECT C.g, AVG(P.v) FROM P, C WHERE P.fk = C.id GROUP BY C.g"
+    )
+    cols = effective_projections(bound)
+    assert [str(c) for c in cols] == ["C.g", "P.v"]
+
+
+def test_apply_aggregates_all_functions(env):
+    binder, _ = env
+    bound = binder.bind_sql(
+        "SELECT COUNT(*), SUM(P.v), AVG(P.v), MIN(P.v), MAX(P.v) FROM P"
+    )
+    cols = effective_projections(bound)
+    data = [(5,), (6,), (7,), (8,)]
+    names, rows = apply_aggregates(bound, cols, data)
+    assert rows == [(4, 26, 6.5, 5, 8)]
+    assert names == ["COUNT(*)", "SUM(P.v)", "AVG(P.v)", "MIN(P.v)",
+                     "MAX(P.v)"]
+
+
+def test_apply_aggregates_empty_input_no_groups(env):
+    binder, _ = env
+    bound = binder.bind_sql("SELECT COUNT(*) FROM P")
+    names, rows = apply_aggregates(bound, effective_projections(bound), [])
+    assert rows == [(0,)]
+
+
+def test_apply_aggregates_empty_input_with_groups(env):
+    binder, _ = env
+    bound = binder.bind_sql("SELECT C.g, COUNT(*) FROM C GROUP BY C.g")
+    _, rows = apply_aggregates(bound, effective_projections(bound), [])
+    assert rows == []
+
+
+def test_count_column(env):
+    binder, ref = env
+    _, rows = ref.execute(binder.bind_sql("SELECT COUNT(P.v) FROM P"))
+    assert rows == [(4,)]

@@ -1,0 +1,74 @@
+"""Security invariants: no hidden byte ever leaves the Secure token.
+
+The channel ledger records every outbound transfer; these tests verify
+the paper's core guarantee -- "the only information revealed to a
+potential spy is which queries you pose" -- over full query executions.
+"""
+
+import pytest
+
+from repro.errors import LeakError
+from repro.workloads.queries import query_q, query_q_with_hidden_projection
+
+
+def run_everything(db):
+    for strategy in ("pre", "post", "post-select", "nofilter"):
+        db.query(query_q(0.1), vis_strategy=strategy)
+    db.query(query_q_with_hidden_projection(0.05))
+    db.query(query_q(0.05), projection="brute-force")
+
+
+def test_outbound_traffic_is_only_queries_and_vis_requests(db):
+    before = len(db.audit_outbound())
+    run_everything(db)
+    new = db.audit_outbound()[before:]
+    assert new, "queries must send requests out"
+    assert {m.kind for m in new} <= {"query", "vis_request"}
+
+
+def test_outbound_volume_is_tiny(db):
+    """Outbound = query/requests only: orders of magnitude below inbound."""
+    db.token.reset_costs()
+    db.query(query_q(0.1))
+    stats = db.token.channel.stats
+    assert stats.bytes_to_untrusted < 1000
+    assert stats.bytes_to_secure > stats.bytes_to_untrusted
+
+
+def test_channel_refuses_hidden_payload(db):
+    with pytest.raises(LeakError):
+        db.token.channel.to_untrusted(
+            100, kind="vis_request", contains_hidden=True
+        )
+
+
+def test_channel_refuses_unknown_kind(db):
+    with pytest.raises(LeakError):
+        db.token.channel.to_untrusted(100, kind="debug_dump")
+
+
+def test_outbound_independent_of_hidden_data(tiny_db, db):
+    """Two databases with different hidden data but the same query must
+    produce byte-identical outbound request sequences (no covert
+    channel through request sizes)."""
+    sql = "SELECT T12.id FROM T12 WHERE T12.h2 = 1 AND T12.v1 < 500"
+    for database in (tiny_db, db):
+        database.token.channel.stats.outbound_log.clear()
+        database.query(sql, vis_strategy="pre", cross=False)
+    log_a = [(m.kind, m.nbytes)
+             for m in tiny_db.audit_outbound()]
+    log_b = [(m.kind, m.nbytes) for m in db.audit_outbound()]
+    assert log_a == log_b
+
+
+def test_vis_requests_mention_only_visible_columns(db):
+    """Vis requests (unlike the public query text) must never carry
+    hidden column names or values."""
+    db.token.channel.stats.outbound_log.clear()
+    db.query(query_q_with_hidden_projection(0.1))
+    vis_requests = [m for m in db.audit_outbound()
+                    if m.kind == "vis_request"]
+    assert vis_requests
+    for msg in vis_requests:
+        assert "h1" not in msg.description
+        assert "h2" not in msg.description

@@ -1,0 +1,84 @@
+"""Unit tests for named flash page files."""
+
+import pytest
+
+from repro.errors import BadAddressError, StorageError
+from repro.flash.constants import FlashParams
+from repro.flash.ftl import Ftl
+from repro.flash.nand import NandFlash
+from repro.flash.stats import CostLedger
+from repro.flash.store import FlashStore
+
+
+@pytest.fixture
+def store():
+    params = FlashParams(n_blocks=32, pages_per_block=8)
+    return FlashStore(Ftl(NandFlash(params), CostLedger(), params))
+
+
+def test_create_append_read(store):
+    f = store.create("table")
+    assert f.append_page(b"page0") == 0
+    assert f.append_page(b"page1") == 1
+    assert f.read_page(0) == b"page0"
+    assert f.read_page(1) == b"page1"
+    assert f.n_pages == 2
+
+
+def test_rewrite_page(store):
+    f = store.create("t")
+    f.append_page(b"old")
+    f.write_page(0, b"new")
+    assert f.read_page(0) == b"new"
+
+
+def test_duplicate_name_rejected(store):
+    store.create("x")
+    with pytest.raises(StorageError):
+        store.create("x")
+
+
+def test_get_unknown_file(store):
+    with pytest.raises(StorageError):
+        store.get("nope")
+
+
+def test_free_releases_pages_and_name(store):
+    f = store.create("gone")
+    f.append_page(b"data")
+    f.free()
+    assert not store.exists("gone")
+    with pytest.raises(StorageError):
+        f.append_page(b"more")
+    # name can be reused
+    store.create("gone")
+
+
+def test_free_is_idempotent(store):
+    f = store.create("f")
+    f.free()
+    f.free()
+
+
+def test_temp_files_get_unique_names(store):
+    a, b = store.create_temp(), store.create_temp()
+    assert a.name != b.name
+
+
+def test_out_of_range_page(store):
+    f = store.create("t")
+    f.append_page(b"only")
+    with pytest.raises(BadAddressError):
+        f.read_page(1)
+    with pytest.raises(BadAddressError):
+        f.write_page(5, b"")
+
+
+def test_usage_accounting(store):
+    f = store.create("a")
+    g = store.create("b")
+    f.append_page(b"12345")
+    g.append_page(b"123")
+    assert store.pages_used() == 2
+    assert store.bytes_used() == 8
+    assert f.n_bytes == 5

@@ -1,0 +1,107 @@
+"""Unit and property tests for Bloom filters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RamExhausted
+from repro.hardware.ram import SecureRam
+from repro.index.bloom import BloomFilter, false_positive_rate
+
+
+def ram(capacity=65536):
+    return SecureRam(capacity=capacity)
+
+
+def test_no_false_negatives():
+    r = ram()
+    with BloomFilter(r, 1000) as bf:
+        bf.add_all(range(0, 2000, 2))
+        for x in range(0, 2000, 2):
+            assert x in bf
+
+
+def test_false_positive_rate_near_paper_value():
+    """Paper: m = 8n with 4 hashes gives fp rate 0.024."""
+    r = ram(capacity=1 << 20)
+    n = 20000
+    with BloomFilter(r, n) as bf:
+        bf.add_all(range(n))
+        fps = sum(1 for x in range(n, 5 * n) if x in bf)
+        rate = fps / (4 * n)
+    assert 0.01 < rate < 0.05
+    assert false_positive_rate(8, 4) == pytest.approx(0.024, abs=0.002)
+
+
+def test_degraded_ratio_matches_paper():
+    """Paper: m = 6n gives fp rate 0.055."""
+    assert false_positive_rate(6, 4) == pytest.approx(0.055, abs=0.003)
+
+
+def test_ram_is_charged_and_freed():
+    r = ram()
+    bf = BloomFilter(r, 1000)  # 8*1000 bits = 1000 bytes
+    assert r.used == 1000
+    assert bf.nbytes == 1000
+    bf.free()
+    assert r.used == 0
+
+
+def test_size_is_quarter_of_id_list():
+    """A Bloom over n IDs is 4x smaller than the 4-byte-ID list itself."""
+    bf = BloomFilter(ram(), 5000)
+    assert bf.nbytes * 4 == 5000 * 4
+
+
+def test_cap_degrades_smoothly():
+    r = ram()
+    bf = BloomFilter(r, 100_000, max_bytes=32768)
+    assert bf.nbytes == 32768
+    assert bf.bits_per_item < 8
+    assert bf.expected_fp_rate > false_positive_rate(8, 4)
+    bf.free()
+
+
+def test_free_ram_caps_vector():
+    r = ram(capacity=4096)
+    r.alloc(2048)
+    bf = BloomFilter(r, 100_000)
+    assert bf.nbytes == 2048
+    bf.free()
+
+
+def test_no_ram_at_all_raises():
+    r = ram(capacity=2048)
+    r.alloc(2048)
+    with pytest.raises(RamExhausted):
+        BloomFilter(r, 10)
+
+
+def test_deterministic_across_instances():
+    a = BloomFilter(ram(), 100)
+    b = BloomFilter(ram(), 100)
+    a.add_all(range(50))
+    b.add_all(range(50))
+    probes = range(0, 1000)
+    assert [x in a for x in probes] == [x in b for x in probes]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=2**32 - 1),
+               min_size=1, max_size=500))
+def test_property_membership_superset(members):
+    """Everything added must test positive (no false negatives, ever)."""
+    r = SecureRam(capacity=1 << 20)
+    with BloomFilter(r, len(members)) as bf:
+        bf.add_all(members)
+        assert all(x in bf for x in members)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=10**6))
+def test_property_expected_fp_monotone_in_budget(n):
+    """Smaller bit budgets never improve the theoretical fp rate."""
+    assert (false_positive_rate(4, 4)
+            >= false_positive_rate(6, 4)
+            >= false_positive_rate(8, 4)
+            >= false_positive_rate(12, 4))

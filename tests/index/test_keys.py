@@ -1,0 +1,81 @@
+"""Property tests: key encodings must preserve order exactly."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.index.keys import (
+    KeyCodec,
+    decode_float,
+    decode_int,
+    decode_str,
+    encode_float,
+    encode_int,
+    encode_str,
+)
+from repro.storage.codec import CharType, FloatType, IntType
+
+
+@given(st.integers(min_value=-(2**62), max_value=2**62),
+       st.integers(min_value=-(2**62), max_value=2**62))
+def test_int_encoding_preserves_order(a, b):
+    assert (encode_int(a) < encode_int(b)) == (a < b)
+    assert (encode_int(a) == encode_int(b)) == (a == b)
+
+
+@given(st.integers(min_value=-(2**62), max_value=2**62))
+def test_int_roundtrip(v):
+    assert decode_int(encode_int(v)) == v
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False),
+       st.floats(allow_nan=False, allow_infinity=False))
+def test_float_encoding_preserves_order(a, b):
+    ea, eb = encode_float(a), encode_float(b)
+    if a < b:
+        assert ea < eb
+    elif a > b:
+        assert ea > eb
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False))
+def test_float_roundtrip(v):
+    assert decode_float(encode_float(v)) == v
+
+
+def test_float_zero_signs_compare_equal_values():
+    # -0.0 and +0.0 are distinct encodings but adjacent; ordering holds
+    assert encode_float(-0.0) <= encode_float(0.0)
+    assert encode_float(-1.0) < encode_float(-0.0)
+    assert encode_float(0.0) < encode_float(1.0)
+
+
+@given(
+    st.text(alphabet=st.characters(codec="ascii",
+                                   exclude_characters="\x00"), max_size=12),
+    st.text(alphabet=st.characters(codec="ascii",
+                                   exclude_characters="\x00"), max_size=12),
+)
+def test_str_encoding_preserves_order(a, b):
+    ea, eb = encode_str(a, 16), encode_str(b, 16)
+    assert (ea < eb) == (a.encode() < b.encode())
+
+
+def test_str_too_long_rejected():
+    with pytest.raises(IndexError_):
+        encode_str("abcdef", 3)
+
+
+def test_str_roundtrip():
+    assert decode_str(encode_str("bob", 10)) == "bob"
+
+
+def test_keycodec_dispatch():
+    assert KeyCodec(IntType(4)).width == 8
+    assert KeyCodec(FloatType()).width == 8
+    assert KeyCodec(CharType(20)).width == 20
+    codec = KeyCodec(CharType(8))
+    assert codec.decode(codec.encode("hi")) == "hi"
+    icodec = KeyCodec(IntType(2))
+    assert icodec.decode(icodec.encode(-5)) == -5

@@ -1,0 +1,93 @@
+"""Tests for the hidden-part advisor (paper future work)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.advisor import HiddenPartAdvisor, rewrite_ddl
+from repro.schema.ddl import schema_from_sql
+
+DDL = [
+    "CREATE TABLE Visits (id int, pid int HIDDEN REFERENCES People, "
+    "note char(40))",
+    "CREATE TABLE People (id int, name char(20) HIDDEN, age int, "
+    "zipcode char(6), ssn char(12) HIDDEN, hobby char(12))",
+]
+
+
+def test_foreign_keys_always_hidden():
+    schema = schema_from_sql(DDL)
+    report = HiddenPartAdvisor(schema).advise()
+    rec = next(r for r in report.recommendations
+               if (r.table, r.column) == ("Visits", "pid"))
+    assert rec.hide and "foreign key" in rec.reason
+
+
+def test_name_patterns_flagged():
+    schema = schema_from_sql(DDL)
+    hidden = HiddenPartAdvisor(schema).advise().hidden_columns()
+    assert "name" in hidden["People"]
+    assert "ssn" in hidden["People"]
+    assert "hobby" not in hidden.get("People", [])
+
+
+def test_direct_identifier_from_samples():
+    schema = schema_from_sql(DDL)
+    rows = [(f"p{i}", 30, "75001", f"{i:012d}", "chess")
+            for i in range(50)]
+    advisor = HiddenPartAdvisor(schema, {"People": rows})
+    report = advisor.advise()
+    # 'hobby' constant -> visible; 'ssn' already pattern-flagged
+    by = {(r.table, r.column): r for r in report.recommendations}
+    assert not by[("People", "hobby")].hide
+
+
+def test_quasi_identifier_combination_flagged():
+    schema = schema_from_sql([
+        "CREATE TABLE P (id int, age int, zip char(6), sex char(2), "
+        "note char(4))",
+    ])
+    # age+zip pairs are unique per row -> quasi-identifier
+    rows = [(20 + i, f"7500{i % 10}", "MF"[i % 2], "x")
+            for i in range(40)]
+    report = HiddenPartAdvisor(schema, {"P": rows}).advise()
+    hidden = report.hidden_columns().get("P", [])
+    assert "age" in hidden or "zip" in hidden
+    # hiding part of the combination suffices; 'note' stays visible
+    assert "note" not in hidden
+
+
+def test_wrong_sample_width_rejected():
+    schema = schema_from_sql(DDL)
+    with pytest.raises(SchemaError):
+        HiddenPartAdvisor(schema, {"People": [(1, 2)]}).advise()
+
+
+def test_rewrite_ddl_produces_loadable_schema():
+    plain = [
+        "CREATE TABLE Orders (id int, cid int REFERENCES Clients, "
+        "amount int)",
+        "CREATE TABLE Clients (id int, name char(20), region char(10))",
+    ]
+    rewritten, report = rewrite_ddl(plain)
+    assert any("cid int hidden references clients" in s.lower()
+               for s in rewritten)
+    assert any("name char(20) hidden" in s.lower() for s in rewritten)
+    # the rewritten DDL builds a working GhostDB
+    from repro import GhostDB
+    db = GhostDB()
+    for stmt in rewritten:
+        db.execute_ddl(stmt)
+    db.load("Clients", [("acme", "north")])
+    db.load("Orders", [(0, 42)])
+    db.build()
+    result = db.query("SELECT Orders.id FROM Orders, Clients "
+                      "WHERE Orders.cid = Clients.id "
+                      "AND Clients.name = 'acme'")
+    assert result.rows == [(0,)]
+
+
+def test_report_describe_lists_every_column():
+    schema = schema_from_sql(DDL)
+    text = HiddenPartAdvisor(schema).advise().describe()
+    for col in ("pid", "note", "name", "age", "ssn"):
+        assert col in text

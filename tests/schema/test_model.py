@@ -1,0 +1,133 @@
+"""Unit tests for the schema model and tree validation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.model import Column, Schema, Table
+from repro.storage.codec import CharType, FloatType, IntType
+
+
+def fig3_schema():
+    """The paper's Figure-3 tree: T0 -> {T1 -> {T11, T12}, T2}."""
+    return Schema([
+        Table("T0", [
+            Column("fk1", IntType(4), hidden=True, references="T1"),
+            Column("fk2", IntType(4), hidden=True, references="T2"),
+            Column("v1", IntType(4)),
+            Column("h1", IntType(4), hidden=True),
+        ]),
+        Table("T1", [
+            Column("fk11", IntType(4), hidden=True, references="T11"),
+            Column("fk12", IntType(4), hidden=True, references="T12"),
+            Column("v1", IntType(4)),
+            Column("h1", IntType(4), hidden=True),
+        ]),
+        Table("T2", [Column("v1", IntType(4))]),
+        Table("T11", [Column("h1", IntType(4), hidden=True)]),
+        Table("T12", [Column("h2", IntType(4), hidden=True)]),
+    ])
+
+
+def test_id_column_is_implicit():
+    t = Table("X", [Column("a", IntType(4))])
+    assert t.columns[0].name == "id"
+    assert t.column("id").is_id
+
+
+def test_explicit_id_column_kept():
+    t = Table("X", [Column("id", IntType(4)), Column("a", IntType(4))])
+    assert len([c for c in t.columns if c.is_id]) == 1
+
+
+def test_non_integer_id_rejected():
+    with pytest.raises(SchemaError):
+        Table("X", [Column("id", CharType(10))])
+
+
+def test_duplicate_column_rejected():
+    with pytest.raises(SchemaError):
+        Table("X", [Column("a", IntType(4)), Column("a", FloatType())])
+
+
+def test_hidden_visible_partition():
+    t = Table("P", [
+        Column("name", CharType(20), hidden=True),
+        Column("age", IntType(2)),
+        Column("bmi", FloatType(), hidden=True),
+    ])
+    assert [c.name for c in t.hidden_columns] == ["name", "bmi"]
+    assert [c.name for c in t.visible_columns] == ["age"]
+
+
+def test_tree_navigation():
+    s = fig3_schema()
+    assert s.root == "T0"
+    assert s.parent("T1") == "T0"
+    assert s.parent("T0") is None
+    assert sorted(s.children("T1")) == ["T11", "T12"]
+    assert s.ancestors("T12") == ["T1", "T0"]
+    assert sorted(s.descendants("T0")) == ["T1", "T11", "T12", "T2"]
+    assert s.depth("T11") == 2
+    assert s.is_ancestor("T0", "T12")
+    assert s.is_ancestor("T1", "T1")
+    assert not s.is_ancestor("T2", "T1")
+
+
+def test_fk_to():
+    s = fig3_schema()
+    assert s.fk_to("T0", "T1").name == "fk1"
+    with pytest.raises(SchemaError):
+        s.fk_to("T0", "T11")
+
+
+def test_visible_fk_rejected():
+    with pytest.raises(SchemaError):
+        Schema([
+            Table("A", [Column("fk", IntType(4), references="B")]),
+            Table("B", [Column("x", IntType(4))]),
+        ])
+
+
+def test_unknown_reference_rejected():
+    with pytest.raises(SchemaError):
+        Schema([Table("A", [Column("fk", IntType(4), hidden=True,
+                                   references="Z")])])
+
+
+def test_multiple_referrers_rejected():
+    with pytest.raises(SchemaError):
+        Schema([
+            Table("A", [Column("fk", IntType(4), hidden=True,
+                               references="C")]),
+            Table("B", [Column("fk", IntType(4), hidden=True,
+                               references="C")]),
+            Table("C", [Column("x", IntType(4))]),
+        ])
+
+
+def test_two_roots_rejected():
+    with pytest.raises(SchemaError):
+        Schema([
+            Table("A", [Column("x", IntType(4))]),
+            Table("B", [Column("x", IntType(4))]),
+        ])
+
+
+def test_self_reference_rejected():
+    with pytest.raises(SchemaError):
+        Schema([Table("A", [Column("fk", IntType(4), hidden=True,
+                                   references="A")])])
+
+
+def test_unknown_table_and_column():
+    s = fig3_schema()
+    with pytest.raises(SchemaError):
+        s.table("T9")
+    with pytest.raises(SchemaError):
+        s.table("T0").column("zzz")
+
+
+def test_column_position_among_data_columns():
+    s = fig3_schema()
+    assert s.table("T0").column_position("fk1") == 0
+    assert s.table("T0").column_position("h1") == 3

@@ -1,0 +1,123 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+
+
+def test_tokenize_basics():
+    toks = tokenize("SELECT a.b, 12 FROM t WHERE x >= 'hi'")
+    kinds = [t.kind for t in toks]
+    assert kinds == ["kw", "ident", "op", "ident", "op", "number", "kw",
+                     "ident", "kw", "ident", "op", "string", "eof"]
+
+
+def test_tokenize_unterminated_string():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("SELECT 'oops")
+
+
+def test_tokenize_bad_char():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("SELECT @")
+
+
+def test_parse_paper_create_table():
+    stmt = parse(
+        "CREATE TABLE Patients (id int, name char(200) HIDDEN, age int, "
+        "city char(100), bodymassindex float HIDDEN)"
+    )
+    assert isinstance(stmt, ast.CreateTable)
+    assert stmt.name == "Patients"
+    cols = {c.name: c for c in stmt.columns}
+    assert cols["name"].hidden and cols["name"].char_size == 200
+    assert not cols["age"].hidden
+    assert cols["bodymassindex"].type_name == "FLOAT"
+
+
+def test_parse_references_clause():
+    stmt = parse("CREATE TABLE M (id int, pid int HIDDEN REFERENCES P)")
+    assert stmt.columns[1].references == "P"
+    assert stmt.columns[1].hidden
+
+
+def test_parse_simple_select():
+    stmt = parse("SELECT T0.id FROM T0 WHERE T0.h1 = 5")
+    assert isinstance(stmt, ast.SelectQuery)
+    assert stmt.tables == ("T0",)
+    (pred,) = stmt.predicates
+    assert isinstance(pred, ast.Comparison)
+    assert pred.op == "=" and pred.value == 5
+
+
+def test_parse_paper_example_query():
+    stmt = parse(
+        "SELECT D.id, P.id, M.id FROM Measurements, Doctors, Patients "
+        "WHERE Measurements.pid = Patients.id "
+        "AND Patients.did = Doctors.id "
+        "AND Doctors.specialty = 'Psychiatrist' "
+        "AND Patients.bodymassindex > 25"
+    )
+    joins = [p for p in stmt.predicates if isinstance(p, ast.JoinPredicate)]
+    sels = [p for p in stmt.predicates if isinstance(p, ast.Comparison)]
+    assert len(joins) == 2 and len(sels) == 2
+    assert sels[0].value == "Psychiatrist"
+    assert sels[1].op == ">" and sels[1].value == 25
+
+
+def test_parse_between_and_in():
+    stmt = parse(
+        "SELECT a FROM t WHERE b BETWEEN 1 AND 9 AND c IN (1, 2, 3)"
+    )
+    between, inlist = stmt.predicates
+    assert isinstance(between, ast.BetweenPredicate)
+    assert (between.low, between.high) == (1, 9)
+    assert isinstance(inlist, ast.InPredicate)
+    assert tuple(inlist.values) == (1, 2, 3)
+
+
+def test_parse_star_variants():
+    assert isinstance(parse("SELECT * FROM t").select[0], ast.Star)
+    item = parse("SELECT t.* FROM t").select[0]
+    assert isinstance(item, ast.Star) and item.table == "t"
+
+
+def test_parse_aggregates():
+    stmt = parse("SELECT COUNT(*), AVG(t.x) FROM t GROUP BY t.g")
+    count, avg = stmt.select
+    assert count.func == "COUNT" and count.arg is None
+    assert avg.func == "AVG" and avg.arg.column == "x"
+    assert stmt.group_by[0].column == "g"
+
+
+def test_parse_negative_and_float_literals():
+    stmt = parse("SELECT a FROM t WHERE b > -5 AND c < 2.5")
+    p1, p2 = stmt.predicates
+    assert p1.value == -5
+    assert p2.value == 2.5
+
+
+def test_parse_non_equi_join_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT a FROM t, u WHERE t.x < u.y")
+
+
+def test_parse_sum_star_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT SUM(*) FROM t")
+
+
+def test_parse_garbage_rejected():
+    with pytest.raises(SqlSyntaxError):
+        parse("DELETE FROM t")
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT FROM t")
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT a FROM t WHERE")
+
+
+def test_trailing_semicolon_ok():
+    assert isinstance(parse("SELECT a FROM t;"), ast.SelectQuery)

@@ -1,0 +1,78 @@
+"""Unit and property tests for the fixed-width row codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.codec import CharType, FloatType, IntType, RowCodec
+
+
+def test_row_width_is_sum_of_column_widths():
+    codec = RowCodec([IntType(4), CharType(10), FloatType(), IntType(2)])
+    assert codec.row_width == 4 + 10 + 8 + 2
+
+
+def test_roundtrip_mixed_row():
+    codec = RowCodec([IntType(4), CharType(8), FloatType()])
+    row = (42, "abc", 3.5)
+    assert codec.unpack(codec.pack(row)) == row
+
+
+def test_unpack_columns_subset():
+    codec = RowCodec([IntType(4), CharType(8), IntType(4)])
+    raw = codec.pack((7, "xyz", 9))
+    assert codec.unpack_columns(raw, [2]) == (9,)
+    assert codec.unpack_columns(raw, [0, 2]) == (7, 9)
+    assert codec.unpack_columns(raw, [2, 0]) == (9, 7)
+
+
+def test_wrong_value_count_rejected():
+    codec = RowCodec([IntType(4)])
+    with pytest.raises(StorageError):
+        codec.pack((1, 2))
+
+
+def test_oversized_string_rejected():
+    codec = RowCodec([CharType(3)])
+    with pytest.raises(StorageError):
+        codec.pack(("abcd",))
+
+
+def test_short_row_rejected():
+    codec = RowCodec([IntType(4), IntType(4)])
+    with pytest.raises(StorageError):
+        codec.unpack(b"\x00" * 7)
+
+
+def test_bad_int_size_rejected():
+    with pytest.raises(StorageError):
+        IntType(3)
+
+
+def test_negative_ints_roundtrip():
+    codec = RowCodec([IntType(2), IntType(4), IntType(8)])
+    row = (-32768, -2_000_000_000, -(2**62))
+    assert codec.unpack(codec.pack(row)) == row
+
+
+@given(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    st.text(
+        alphabet=st.characters(codec="ascii", exclude_characters="\x00"),
+        max_size=16,
+    ),
+    st.floats(allow_nan=False, allow_infinity=False),
+)
+def test_property_roundtrip(i, s, f):
+    codec = RowCodec([IntType(4), CharType(16), FloatType()])
+    assert codec.unpack(codec.pack((i, s, f))) == (i, s, f)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**31 - 1),
+                min_size=1, max_size=6))
+def test_property_offsets_monotone(values):
+    codec = RowCodec([IntType(4) for _ in values])
+    raw = codec.pack(tuple(values))
+    assert len(raw) == codec.row_width
+    assert codec.unpack(raw) == tuple(values)

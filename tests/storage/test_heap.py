@@ -1,0 +1,99 @@
+"""Unit tests for heap files of fixed-width rows."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.flash.constants import FlashParams
+from repro.flash.ftl import Ftl
+from repro.flash.nand import NandFlash
+from repro.flash.stats import CostLedger
+from repro.flash.store import FlashStore
+from repro.storage.codec import CharType, IntType, RowCodec
+
+PAGE = 256  # tiny pages force multi-page files quickly
+
+
+@pytest.fixture
+def store():
+    params = FlashParams(page_size=PAGE, n_blocks=128, pages_per_block=8)
+    return FlashStore(Ftl(NandFlash(params), CostLedger(), params))
+
+
+from repro.storage.heap import HeapFile  # noqa: E402
+
+
+def build(store, n=100):
+    codec = RowCodec([IntType(4), CharType(12)])
+    rows = [(i * 10, f"row{i}") for i in range(n)]
+    heap = HeapFile.build(store, "t", codec, rows, page_size=PAGE)
+    return heap, rows
+
+
+def test_build_and_point_reads(store):
+    heap, rows = build(store)
+    assert heap.n_rows == 100
+    for rid in (0, 1, 15, 16, 99):
+        assert heap.get_row(rid) == rows[rid]
+
+
+def test_scan_in_id_order(store):
+    heap, rows = build(store)
+    assert list(heap.scan()) == rows
+
+
+def test_scan_column_subset(store):
+    heap, rows = build(store)
+    assert list(heap.scan(columns=[0])) == [(r[0],) for r in rows]
+
+
+def test_get_columns(store):
+    heap, rows = build(store)
+    assert heap.get_columns(42, [1]) == (rows[42][1],)
+
+
+def test_out_of_range_row(store):
+    heap, _ = build(store, n=5)
+    with pytest.raises(StorageError):
+        heap.get_row(5)
+    with pytest.raises(StorageError):
+        heap.get_row(-1)
+
+
+def test_point_read_transfers_only_row_bytes(store):
+    heap, _ = build(store)
+    ledger = store.ftl.ledger
+    ledger.reset()
+    heap.get_row(50)
+    assert ledger.counters["pages_read"] == 1
+    assert ledger.counters["bytes_to_ram"] == heap.codec.row_width
+
+
+def test_scan_reads_each_page_once(store):
+    heap, _ = build(store)
+    ledger = store.ftl.ledger
+    ledger.reset()
+    list(heap.scan())
+    assert ledger.counters["pages_read"] == heap.file.n_pages
+
+
+def test_page_of_row_and_page_reads(store):
+    heap, rows = build(store)
+    page = heap.page_of_row(33)
+    pairs = heap.read_rows_on_page(page)
+    rids = [rid for rid, _ in pairs]
+    assert 33 in rids
+    for rid, row in pairs:
+        assert row == rows[rid]
+
+
+def test_row_wider_than_page_rejected(store):
+    codec = RowCodec([CharType(PAGE + 1)])
+    with pytest.raises(StorageError):
+        HeapFile.build(store, "wide", codec, [], page_size=PAGE)
+
+
+def test_empty_heap(store):
+    codec = RowCodec([IntType(4)])
+    heap = HeapFile.build(store, "empty", codec, [], page_size=PAGE)
+    assert heap.n_rows == 0
+    assert list(heap.scan()) == []

@@ -1,0 +1,121 @@
+"""Unit tests for the Untrusted engine and the Vis protocol."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.hardware.token import SecureToken
+from repro.schema.ddl import schema_from_sql
+from repro.untrusted.engine import UntrustedEngine, VisPredicate
+from repro.untrusted.server import VisRequest, VisServer
+
+DDL = [
+    "CREATE TABLE A (id int, fk int HIDDEN REFERENCES B, v1 int, "
+    "v2 char(8), h1 int HIDDEN)",
+    "CREATE TABLE B (id int, v1 int)",
+]
+
+
+@pytest.fixture
+def engine():
+    eng = UntrustedEngine(schema_from_sql(DDL))
+    eng.load("A", [(i % 10, f"s{i % 3}") for i in range(100)])
+    eng.load("B", [(i,) for i in range(5)])
+    return eng
+
+
+def test_load_stores_only_visible_columns(engine):
+    assert engine.n_rows("A") == 100
+    assert [c.name for c in engine.visible_columns("A")] == ["v1", "v2"]
+
+
+def test_load_wrong_width_rejected(engine):
+    with pytest.raises(StorageError):
+        engine.load("A", [(1, "x", 99)])
+
+
+def test_select_ids_equality(engine):
+    ids = engine.select_ids("A", [VisPredicate("v1", "=", 3)])
+    assert ids == [i for i in range(100) if i % 10 == 3]
+    assert ids == sorted(ids)
+
+
+def test_select_ids_conjunction(engine):
+    ids = engine.select_ids("A", [
+        VisPredicate("v1", "=", 3),
+        VisPredicate("v2", "=", "s0"),
+    ])
+    assert ids == [i for i in range(100) if i % 10 == 3 and i % 3 == 0]
+
+
+def test_select_ids_range_ops(engine):
+    assert len(engine.select_ids("A", [VisPredicate("v1", "<", 2)])) == 20
+    assert len(engine.select_ids("A", [VisPredicate("v1", "<=", 2)])) == 30
+    assert len(engine.select_ids("A", [VisPredicate("v1", ">", 7)])) == 20
+    assert len(engine.select_ids("A", [VisPredicate("v1", ">=", 7)])) == 30
+    between = engine.select_ids(
+        "A", [VisPredicate("v1", "between", 2, value2=4)]
+    )
+    assert len(between) == 30
+    in_list = engine.select_ids(
+        "A", [VisPredicate("v1", "in", values=(1, 5))]
+    )
+    assert len(in_list) == 20
+
+
+def test_select_rows_projects_columns(engine):
+    rows = engine.select_rows("A", [VisPredicate("v1", "=", 0)], ["v2"])
+    assert rows[0] == (0, "s0")
+    assert all(len(r) == 2 for r in rows)
+
+
+def test_hidden_column_not_accessible(engine):
+    with pytest.raises(StorageError):
+        engine.select_ids("A", [VisPredicate("h1", "=", 1)])
+
+
+def test_count(engine):
+    assert engine.count("A", [VisPredicate("v1", "=", 3)]) == 10
+    assert engine.count("A", []) == 100
+
+
+# ---------------------------------------------------------------------------
+# VisServer
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def server(engine):
+    return VisServer(engine, SecureToken())
+
+
+def test_vis_ids_only_charges_id_bytes(server):
+    req = VisRequest("A", (VisPredicate("v1", "=", 3),))
+    result = server.vis(req)
+    assert result.count == 10
+    assert result.rows == [(i,) for i in result.ids]
+    stats = server.token.channel.stats
+    assert stats.bytes_to_secure == 10 * 4
+    assert stats.bytes_to_untrusted == req.wire_size()
+
+
+def test_vis_with_columns_charges_row_width(server):
+    req = VisRequest("A", (VisPredicate("v1", "=", 3),), ("v1", "v2"))
+    result = server.vis(req)
+    assert result.rows[0][1:] == (3, "s0")
+    # id(4) + v1(4) + v2(8) per row
+    assert server.token.channel.stats.bytes_to_secure == 10 * 16
+
+
+def test_vis_no_predicates_ships_whole_table(server):
+    result = server.vis(VisRequest("A", ()))
+    assert result.count == 100
+
+
+def test_vis_requests_are_audited(server):
+    server.vis(VisRequest("A", ()))
+    log = server.token.channel.audit_outbound()
+    assert log[-1].kind == "vis_request"
+
+
+def test_count_protocol(server):
+    assert server.count("A", [VisPredicate("v1", "<", 5)]) == 50
+    assert server.requests_served == 1
