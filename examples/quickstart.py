@@ -68,6 +68,26 @@ def main() -> None:
     assert sorted(result.rows) == sorted(expected)
     print("\nresult verified against the reference evaluator.")
 
+    # repeated templates: prepare once, execute many.  The plan is
+    # computed on the first execution only, and query_many amortizes
+    # the Secure -> Untrusted round trips across the whole batch.
+    stmt = db.prepare("SELECT Patients.id FROM Patients "
+                      "WHERE age = ? AND bodymassindex = ?")
+    batch = db.query_many(stmt.sql,
+                          [(age, bmi) for age in (30, 50, 70)
+                           for bmi in (20, 23, 30)])
+    print()
+    print(f"prepared batch: {len(batch)} executions, "
+          f"{batch.plans_computed} plan(s) computed, "
+          f"{batch.stats.result_rows} rows, "
+          f"{batch.stats.total_s * 1000:.2f} ms simulated")
+    for (age, bmi), res in zip([(30, 20), (30, 23)], batch):
+        check_sql = (f"SELECT Patients.id FROM Patients "
+                     f"WHERE age = {age} AND bodymassindex = {bmi}")
+        _, expected = db.reference_query(check_sql)
+        assert sorted(res.rows) == sorted(expected)
+    print("batch results verified against the reference evaluator.")
+
 
 if __name__ == "__main__":
     main()

@@ -10,14 +10,20 @@ and the paper's complete experimental harness.
 
 from repro.core.ghostdb import GhostDB
 from repro.core.plan import ProjectionMode, VisStrategy
+from repro.core.session import (BatchResult, PlanCache, PreparedStatement,
+                                Session)
 from repro.hardware.token import SecureToken, TokenConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchResult",
     "GhostDB",
+    "PlanCache",
+    "PreparedStatement",
     "ProjectionMode",
     "SecureToken",
+    "Session",
     "TokenConfig",
     "VisStrategy",
     "__version__",

@@ -61,6 +61,33 @@ class QueryStats:
     def operator_s(self, label: str) -> float:
         return self.by_operator.get(label, 0.0)
 
+    @classmethod
+    def aggregate(cls, parts: Iterable["QueryStats"]) -> "QueryStats":
+        """Combine per-query reports into one (batch execution).
+
+        Times, byte counts and row counts sum; ``ram_peak`` takes the
+        maximum, since the queries of a batch run sequentially on one
+        token and never hold RAM simultaneously.
+        """
+        by_op: Dict[str, float] = {}
+        counters: Dict[str, int] = {}
+        total = QueryStats(
+            total_s=0.0, by_operator=by_op, counters=counters,
+            bytes_to_secure=0, bytes_to_untrusted=0, ram_peak=0,
+            result_rows=0,
+        )
+        for part in parts:
+            total.total_s += part.total_s
+            for label, seconds in part.by_operator.items():
+                by_op[label] = by_op.get(label, 0.0) + seconds
+            for key, value in part.counters.items():
+                counters[key] = counters.get(key, 0) + value
+            total.bytes_to_secure += part.bytes_to_secure
+            total.bytes_to_untrusted += part.bytes_to_untrusted
+            total.ram_peak = max(total.ram_peak, part.ram_peak)
+            total.result_rows += part.result_rows
+        return total
+
 
 @dataclass
 class QueryResult:

@@ -19,14 +19,28 @@ Typical use::
                       "AND Patients.bodymassindex > 25")
     print(result.rows, result.stats.total_s)
 
+Repeated query templates should go through the prepared-statement
+layer, which plans once and substitutes parameters per execution::
+
+    stmt = db.prepare("SELECT Patients.id FROM Patients, Doctors "
+                      "WHERE Patients.did = Doctors.id "
+                      "AND Doctors.specialty = ? "
+                      "AND Patients.bodymassindex > ?")
+    result = stmt.execute(("Psychiatrist", 25))
+    batch = db.query_many(stmt.sql,
+                          [("Psychiatrist", 25), ("Dentist", 30)])
+    print(batch.stats.total_s, batch.plans_computed)
+
 Everything hidden stays on the simulated secure token; the only bytes
-that ever leave it are the query texts (verifiable via
+that ever leave it are the query texts -- including prepared-statement
+parameters, which are part of the (public) query (verifiable via
 ``db.audit_outbound()``).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import weakref
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.aggregate import apply_aggregates, effective_projections
@@ -38,7 +52,8 @@ from repro.core.plan import ProjectionMode, QueryPlan
 from repro.core.planner import Planner, StrategyLike
 from repro.core.project import ProjectionExecutor
 from repro.core.reference import ReferenceEngine
-from repro.errors import GhostDBError, SchemaError
+from repro.core.session import BatchResult, PreparedStatement, Session
+from repro.errors import BindError, GhostDBError, SchemaError
 from repro.hardware.token import SecureToken, TokenConfig
 from repro.schema.ddl import table_from_sql
 from repro.schema.model import Schema, Table
@@ -63,6 +78,9 @@ class GhostDB:
         self._vis_server: Optional[VisServer] = None
         self._planner: Optional[Planner] = None
         self._reference: Optional[ReferenceEngine] = None
+        self._sessions: "weakref.WeakSet[Session]" = weakref.WeakSet()
+        self._default_session: Optional[Session] = None
+        self._generation = 0
 
     # ------------------------------------------------------------------
     # schema definition and loading
@@ -113,6 +131,15 @@ class GhostDB:
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
+    def _bind(self, sql: str):
+        """Bind ``sql``, normalizing aggregate projections."""
+        bound = self._binder.bind_sql(sql)
+        if bound.is_aggregate:
+            bound = dataclasses.replace(
+                bound, projections=effective_projections(bound)
+            )
+        return bound
+
     def plan_query(self, sql: str,
                    vis_strategy: StrategyLike = None,
                    cross: Optional[bool] = None,
@@ -120,10 +147,11 @@ class GhostDB:
                    ) -> QueryPlan:
         """Bind and plan without executing."""
         self._require_built()
-        bound = self._binder.bind_sql(sql)
-        if bound.is_aggregate:
-            bound = dataclasses.replace(
-                bound, projections=effective_projections(bound)
+        bound = self._bind(sql)
+        if bound.has_parameters:
+            raise BindError(
+                f"statement has {bound.param_count} unbound ? "
+                f"placeholder(s): use prepare() and execute(params)"
             )
         return self._planner.plan(bound, vis_strategy, cross, projection)
 
@@ -146,21 +174,33 @@ class GhostDB:
         plan = self.plan_query(sql, vis_strategy, cross, projection)
         return self.execute_plan(plan)
 
-    def execute_plan(self, plan: QueryPlan) -> QueryResult:
-        """Run an already-planned query and collect its cost report."""
+    def execute_plan(self, plan: QueryPlan, *, announce: bool = True,
+                     vis_seed: Optional[Dict] = None) -> QueryResult:
+        """Run an already-planned query and collect its cost report.
+
+        ``announce=False`` skips the per-query transmission of the
+        query text (the batched path announces a whole batch in one
+        message); ``vis_seed`` pre-populates the execution context's
+        Vis cache with ``{(table, columns): VisResult}`` entries that a
+        batched prefetch already downloaded.
+        """
         self._require_built()
         before = self.token.ledger.snapshot()
-        ram_peak_before = self.token.ram.peak_used
+        self.token.ram.reset_peak()
         ch = self.token.channel.stats
         in_before, out_before = ch.bytes_to_secure, ch.bytes_to_untrusted
-        # the query text itself is the one thing Secure reveals
-        with self.token.label("Vis"):
-            self.token.channel.to_untrusted(
-                max(1, len(plan.bound.sql)), kind="query",
-                description=plan.bound.sql[:80],
-            )
+        if announce:
+            # the query text itself is the one thing Secure reveals
+            with self.token.label("Vis"):
+                self.token.channel.to_untrusted(
+                    max(1, len(plan.bound.sql)), kind="query",
+                    description=plan.bound.sql[:80],
+                )
         ctx = ExecContext(self.token, self.catalog, self._vis_server,
                           plan.bound)
+        if vis_seed:
+            for (table, columns), result in vis_seed.items():
+                ctx.seed_vis(table, result, columns)
         sj = QepSjExecutor(ctx).execute(plan)
         try:
             names, rows = ProjectionExecutor(ctx).execute(
@@ -175,7 +215,9 @@ class GhostDB:
         stats = self._stats_between(before, after, rows)
         stats.bytes_to_secure = ch.bytes_to_secure - in_before
         stats.bytes_to_untrusted = ch.bytes_to_untrusted - out_before
-        stats.ram_peak = max(ram_peak_before, self.token.ram.peak_used)
+        # reset_peak() above opened a per-query window, so this is the
+        # true peak of *this* query, not the token's lifetime peak
+        stats.ram_peak = self.token.ram.peak_used
         return QueryResult(columns=names, rows=rows, stats=stats, plan=plan)
 
     # ------------------------------------------------------------------
@@ -201,6 +243,88 @@ class GhostDB:
             ram_peak=0,
             result_rows=len(rows),
         )
+
+    # ------------------------------------------------------------------
+    # sessions, prepared statements, batched execution
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Bumped by :meth:`rebuild`; plans are valid per generation."""
+        return self._generation
+
+    def session(self, plan_cache_capacity: int = 64) -> Session:
+        """A new session (own plan cache) over this database."""
+        return Session(self, plan_cache_capacity)
+
+    def _session_default(self) -> Session:
+        if self._default_session is None:
+            self._default_session = Session(self)
+        return self._default_session
+
+    def prepare(self, sql: str,
+                vis_strategy: StrategyLike = None,
+                cross: Optional[bool] = None,
+                projection: Union[str, ProjectionMode] = "project",
+                ) -> PreparedStatement:
+        """Bind ``sql`` once for repeated execution.
+
+        ``?`` placeholders in predicates are substituted per call of
+        :meth:`PreparedStatement.execute`; the plan is computed on the
+        first execution and reused (one planner invocation per
+        template, not per query).  Uses the default session's plan
+        cache -- create a dedicated :meth:`session` for isolation.
+        """
+        self._require_built()
+        return self._session_default().prepare(sql, vis_strategy, cross,
+                                               projection)
+
+    def query_many(self,
+                   sql: Union[str, Sequence[str]],
+                   param_sets: Optional[Sequence[Sequence]] = None,
+                   **kwargs) -> BatchResult:
+        """Batched execution through the default session.
+
+        ``query_many(template, param_sets)`` executes one parameterized
+        template per parameter set; ``query_many([sql, ...])`` runs
+        heterogeneous statements.  Planner probes, query announcements
+        and Vis downloads are amortized across the batch; the returned
+        :class:`BatchResult` carries per-query results plus one
+        aggregated :class:`QueryStats`.
+        """
+        self._require_built()
+        return self._session_default().query_many(sql, param_sets,
+                                                  **kwargs)
+
+    def rebuild(self,
+                indexed_columns: Optional[Dict[str, Sequence[str]]] = None
+                ) -> None:
+        """Re-provision the token from the retained raw rows.
+
+        Rebuilds hidden images, SKTs and climbing indexes (optionally
+        with a different ``indexed_columns`` selection) on a fresh
+        token, bumps :attr:`generation` and invalidates every live
+        session's plan cache: cached plans may reference indexes that
+        no longer exist after a rebuild.
+        """
+        self._require_built()
+        raw_rows = self.catalog.raw_rows
+        if indexed_columns is not None:
+            self._indexed_columns = indexed_columns
+        self.token = SecureToken(self.token.config)
+        self.untrusted = UntrustedEngine(self.schema)
+        self._loader = Loader(self.schema, self.token, self.untrusted,
+                              self._indexed_columns)
+        for table, rows in raw_rows.items():
+            self._loader.add_rows(table, rows)
+        self.catalog = self._loader.build()
+        self._vis_server = VisServer(self.untrusted, self.token)
+        self._planner = Planner(self.catalog, self._vis_server)
+        self._reference = ReferenceEngine(self.schema,
+                                          self.catalog.raw_rows)
+        self.token.reset_costs()
+        self._generation += 1
+        for session in list(self._sessions):
+            session.invalidate()
 
     # ------------------------------------------------------------------
     # oracle, audit, reports

@@ -136,8 +136,15 @@ class MergeOperator:
                     "Merge cannot fit in RAM even after reduction "
                     f"(budget {budget} buffers, reserve {reserve_buffers})"
                 )
-            # reduction itself needs fold inputs + 1 output buffer
-            fold = min(n_flash, max(2, self.ram.free_buffers - 1))
+            # reduction itself needs fold inputs + 1 output buffer, and
+            # must stay within the reserve-aware budget: grabbing
+            # free_buffers - 1 inputs would transiently occupy buffers
+            # promised to downstream SJoin/Store operators.  Like the
+            # budget itself, this is advisory at the floor: a reduction
+            # pass cannot use fewer than 2 inputs + 1 output, so a
+            # budget below 3 buffers is transiently exceeded rather
+            # than failing the plan.
+            fold = min(n_flash, max(2, budget - 1))
             groups[target] = self._reduce_group(groups[target], fold)
 
     # ------------------------------------------------------------------

@@ -50,6 +50,13 @@ class ExecContext:
     def label(self, name: str):
         return self.token.label(name)
 
+    def seed_vis(self, table: str, result: VisResult,
+                 columns: Sequence[str] = ()) -> None:
+        """Pre-populate the Vis cache with an already-downloaded result
+        (the batched-execution path prefetches whole batches of Vis
+        requests in one round trip before running each query)."""
+        self._vis_cache[(table, tuple(columns))] = result
+
 
 # ---------------------------------------------------------------------------
 # Vis

@@ -20,6 +20,7 @@ Hidden selections always go through climbing-index lookups.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -67,6 +68,18 @@ class QueryPlan:
     bound: BoundQuery
     vis_plans: Dict[str, VisPlan] = field(default_factory=dict)
     projection_mode: ProjectionMode = ProjectionMode.PROJECT
+
+    def with_bound(self, bound: BoundQuery) -> "QueryPlan":
+        """The same strategy decisions applied to another bound query.
+
+        Prepared statements plan once from a template and re-execute
+        with fresh parameter values: the per-table strategies and the
+        projection mode are reused, only the bound query (carrying the
+        concrete predicate values) is swapped.
+        """
+        if bound is self.bound:
+            return self
+        return dataclasses.replace(self, bound=bound)
 
     def describe(self) -> str:
         """Human-readable plan summary (the ``explain`` output)."""

@@ -20,7 +20,7 @@ experiments.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro.core.catalog import SecureCatalog
 from repro.core.operators import to_vis_predicates
@@ -67,6 +67,7 @@ class Planner:
     def __init__(self, catalog: SecureCatalog, vis_server: VisServer):
         self.catalog = catalog
         self.vis = vis_server
+        self.plans_built = 0
 
     # ------------------------------------------------------------------
     def _cross_available(self, bound: BoundQuery, table: str) -> bool:
@@ -84,6 +85,24 @@ class Planner:
             count = self.vis.count(table, preds)
         total = max(1, self.catalog.n_rows(table))
         return count / total
+
+    def _estimate_selectivities(self, bound: BoundQuery,
+                                tables: Sequence[str]
+                                ) -> Dict[str, float]:
+        """Selectivity probes for ``tables``, batched into one
+        Secure -> Untrusted round trip when several are needed."""
+        if not tables:
+            return {}
+        if len(tables) == 1:
+            return {tables[0]: self._estimate_selectivity(bound, tables[0])}
+        items = [(t, to_vis_predicates(bound.visible_selections(t)))
+                 for t in tables]
+        with self.catalog.token.label("Plan"):
+            counts = self.vis.count_batch(items)
+        return {
+            table: count / max(1, self.catalog.n_rows(table))
+            for (table, _), count in zip(items, counts)
+        }
 
     def _auto_strategy(self, selectivity: float) -> VisStrategy:
         if selectivity <= PRE_FILTER_LIMIT:
@@ -109,6 +128,11 @@ class Planner:
         for sel in bound.visible_selections():
             if sel.table not in tables_with_vis:
                 tables_with_vis.append(sel.table)
+        need_probe = [
+            t for t in tables_with_vis
+            if t != bound.anchor and override is None
+        ]
+        selectivities = self._estimate_selectivities(bound, need_probe)
         for table in tables_with_vis:
             use_cross = (self._cross_available(bound, table)
                          if cross is None else
@@ -120,10 +144,10 @@ class Planner:
             if override is not None:
                 vis_plans[table] = VisPlan(table, override, use_cross)
                 continue
-            selectivity = self._estimate_selectivity(bound, table)
             vis_plans[table] = VisPlan(
-                table, self._auto_strategy(selectivity), use_cross
+                table, self._auto_strategy(selectivities[table]), use_cross
             )
+        self.plans_built += 1
         return QueryPlan(
             bound=bound, vis_plans=vis_plans,
             projection_mode=_coerce_mode(projection),

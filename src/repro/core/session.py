@@ -1,0 +1,391 @@
+"""Query-service layer: prepared statements, plan caching, batching.
+
+``GhostDB.query()`` re-lexes, re-binds and re-plans its SQL on every
+call -- fine for one-off experiments, wasteful for production-style
+workloads that pose the same query template thousands of times.  This
+module adds the reusable infrastructure on top of the facade:
+
+* :class:`PreparedStatement` -- bind once, execute many.  ``?``
+  placeholders in predicates are substituted per execution; the plan
+  (per-table Vis strategies, projection mode) is computed once and
+  reused via :meth:`QueryPlan.with_bound`.
+* :class:`PlanCache` -- an LRU cache of :class:`QueryPlan` objects
+  keyed on the *normalized* SQL text plus the strategy knobs, so
+  whitespace or keyword-case variants of one query share a plan.  The
+  cache is explicitly invalidated when the database is rebuilt.
+* :class:`Session` -- one client's view of a :class:`GhostDB`: its own
+  plan cache and the batched execution path :meth:`Session.query_many`,
+  which amortizes the planner's selectivity probes and the
+  Secure -> Untrusted round trips (query announcements and Vis
+  requests are shipped in batch messages) across a whole batch and
+  aggregates one :class:`QueryStats` per batch.
+
+Everything here stays on the public side of the trust boundary: a
+prepared statement's parameters are part of the user's query, which
+GhostDB's security argument already assumes public.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
+
+from repro.core.executor import QueryResult, QueryStats
+from repro.core.operators import to_vis_predicates
+from repro.core.plan import ProjectionMode, QueryPlan
+from repro.core.planner import StrategyLike, _coerce_mode, _coerce_strategy
+from repro.errors import BindError, GhostDBError
+from repro.sql.binder import BoundQuery
+from repro.sql.lexer import normalize_sql
+from repro.untrusted.server import VisRequest, VisResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.ghostdb import GhostDB
+
+#: how many Vis requests ride in one prefetch round trip
+VIS_BATCH_SIZE = 64
+
+#: cache key: (normalized sql, strategy, cross, projection)
+PlanKey = Tuple[str, Optional[str], Optional[bool], str]
+
+
+def plan_key(sql: str, vis_strategy: StrategyLike, cross: Optional[bool],
+             projection: Union[str, ProjectionMode]) -> PlanKey:
+    """Cache key for one (statement, strategy-knobs) combination."""
+    strategy = _coerce_strategy(vis_strategy)
+    return (
+        normalize_sql(sql),
+        strategy.value if strategy is not None else None,
+        cross,
+        _coerce_mode(projection).value,
+    )
+
+
+class PlanCache:
+    """A bounded LRU cache of query plans with hit/miss accounting."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity <= 0:
+            raise ValueError("plan cache capacity must be positive")
+        self.capacity = capacity
+        self._plans: "OrderedDict[PlanKey, QueryPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._plans
+
+    def get(self, key: PlanKey) -> Optional[QueryPlan]:
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key: PlanKey, plan: QueryPlan) -> None:
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (the database was rebuilt)."""
+        self._plans.clear()
+        self.invalidations += 1
+
+
+class PreparedStatement:
+    """One bound statement: plan once, execute with fresh parameters.
+
+    Obtained from :meth:`Session.prepare` (or ``GhostDB.prepare``).
+    ``?`` placeholders are numbered left to right; :meth:`execute`
+    takes one value per placeholder.
+    """
+
+    def __init__(self, session: "Session", sql: str,
+                 vis_strategy: StrategyLike = None,
+                 cross: Optional[bool] = None,
+                 projection: Union[str, ProjectionMode] = "project"):
+        self.session = session
+        self.sql = sql
+        self._vis_strategy = vis_strategy
+        self._cross = cross
+        self._projection = projection
+        self._key = plan_key(sql, vis_strategy, cross, projection)
+        db = session.db
+        db._require_built()
+        self.template: BoundQuery = db._bind(sql)
+        self.executions = 0
+
+    @property
+    def param_count(self) -> int:
+        return self.template.param_count
+
+    # ------------------------------------------------------------------
+    def _plan_for(self, bound: BoundQuery) -> QueryPlan:
+        """The template plan, from the session cache or planned fresh."""
+        cache = self.session.plan_cache
+        plan = cache.get(self._key)
+        if plan is None:
+            plan = self.session.db._planner.plan(
+                bound, self._vis_strategy, self._cross, self._projection
+            )
+            cache.put(self._key, plan)
+        return plan
+
+    def execute(self, params: Sequence = ()) -> QueryResult:
+        """Run once with ``params`` substituted for the placeholders."""
+        bound = self.template.substitute(tuple(params))
+        plan = self._plan_for(bound).with_bound(bound)
+        self.executions += 1
+        return self.session.db.execute_plan(plan)
+
+    def execute_many(self, param_sets: Sequence[Sequence],
+                     prefetch_vis: bool = True) -> "BatchResult":
+        """Run the template once per parameter set, batched.
+
+        See :meth:`Session.query_many` for the amortizations applied.
+        """
+        return self.session._run_template_batch(self, param_sets,
+                                                prefetch_vis)
+
+
+@dataclass
+class BatchResult:
+    """Results and aggregated costs of one batched execution.
+
+    ``stats`` covers the whole batch window -- including the shared
+    planning probes and prefetch transfers that no single query owns --
+    so ``stats.total_s`` is what the batch really cost the token.
+    """
+
+    results: List[QueryResult]
+    stats: QueryStats
+    plans_computed: int     # planner invocations during the batch
+    cache_hits: int         # plan-cache hits during the batch
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        return iter(self.results)
+
+    def __getitem__(self, i: int) -> QueryResult:
+        return self.results[i]
+
+
+class Session:
+    """One client's prepared statements and plan cache over a GhostDB.
+
+    Sessions are cheap; a server would hold one per connection.  All
+    sessions share the database's token and Untrusted engine -- only
+    the caching layer is per-session.  ``GhostDB.rebuild()`` calls
+    :meth:`invalidate` on every live session.
+    """
+
+    def __init__(self, db: "GhostDB", plan_cache_capacity: int = 64):
+        db._require_built()
+        self.db = db
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        db._sessions.add(self)
+
+    # ------------------------------------------------------------------
+    def prepare(self, sql: str,
+                vis_strategy: StrategyLike = None,
+                cross: Optional[bool] = None,
+                projection: Union[str, ProjectionMode] = "project",
+                ) -> PreparedStatement:
+        """Bind ``sql`` (which may contain ``?`` placeholders) once."""
+        return PreparedStatement(self, sql, vis_strategy, cross, projection)
+
+    def query(self, sql: str, params: Optional[Sequence] = None,
+              vis_strategy: StrategyLike = None,
+              cross: Optional[bool] = None,
+              projection: Union[str, ProjectionMode] = "project",
+              ) -> QueryResult:
+        """Like ``GhostDB.query`` but through the plan cache."""
+        if params is not None:
+            stmt = self.prepare(sql, vis_strategy, cross, projection)
+            return stmt.execute(params)
+        plan = self._plan_cached(sql, vis_strategy, cross, projection)
+        return self.db.execute_plan(plan)
+
+    def query_many(self,
+                   sql: Union[str, Sequence[str]],
+                   param_sets: Optional[Sequence[Sequence]] = None,
+                   vis_strategy: StrategyLike = None,
+                   cross: Optional[bool] = None,
+                   projection: Union[str, ProjectionMode] = "project",
+                   prefetch_vis: bool = True) -> BatchResult:
+        """Execute a batch of queries with amortized round trips.
+
+        Two shapes are accepted:
+
+        * ``query_many(template_sql, param_sets)`` -- one parameterized
+          template executed once per parameter set (planned at most
+          once);
+        * ``query_many([sql1, sql2, ...])`` -- heterogeneous statements,
+          each planned through the session's plan cache.
+
+        In both shapes the batch sends one combined query announcement,
+        prefetches all Vis requests in :data:`VIS_BATCH_SIZE` chunks
+        (one round trip per chunk instead of one per request), and
+        returns per-query results plus one aggregated
+        :class:`QueryStats` for the batch.
+        """
+        if isinstance(sql, str):
+            stmt = self.prepare(sql, vis_strategy, cross, projection)
+            if param_sets is None:
+                param_sets = [()]
+            return self._run_template_batch(stmt, param_sets, prefetch_vis)
+        if param_sets is not None:
+            raise GhostDBError(
+                "param_sets requires a single SQL template, not a list "
+                "of statements"
+            )
+        return self._run_sql_batch(list(sql), vis_strategy, cross,
+                                   projection, prefetch_vis)
+
+    def invalidate(self) -> None:
+        """Drop cached plans (called by ``GhostDB.rebuild()``)."""
+        self.plan_cache.invalidate()
+
+    # ------------------------------------------------------------------
+    def _plan_cached(self, sql: str, vis_strategy: StrategyLike,
+                     cross: Optional[bool],
+                     projection: Union[str, ProjectionMode]) -> QueryPlan:
+        key = plan_key(sql, vis_strategy, cross, projection)
+        plan = self.plan_cache.get(key)
+        if plan is None:
+            bound = self.db._bind(sql)
+            if bound.has_parameters:
+                raise BindError(
+                    "statement has ? placeholders: use prepare() or "
+                    "pass params"
+                )
+            plan = self.db._planner.plan(bound, vis_strategy, cross,
+                                         projection)
+            self.plan_cache.put(key, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # batched execution
+    # ------------------------------------------------------------------
+    def _run_template_batch(self, stmt: PreparedStatement,
+                            param_sets: Sequence[Sequence],
+                            prefetch_vis: bool) -> BatchResult:
+        param_sets = [tuple(p) for p in param_sets]
+        if not param_sets:
+            return BatchResult([], QueryStats.aggregate(()), 0, 0)
+        bounds = [stmt.template.substitute(p) for p in param_sets]
+        window = self._open_window()
+        plan = stmt._plan_for(bounds[0])
+        plans = [plan.with_bound(b) for b in bounds]
+        # one audited message carries the template and every value set
+        nbytes = max(1, len(stmt.sql)) + 8 * stmt.param_count * len(bounds)
+        self._announce_batch(nbytes, len(plans), stmt.sql)
+        stmt.executions += len(plans)
+        return self._execute_plans(plans, prefetch_vis, window)
+
+    def _run_sql_batch(self, sqls: List[str],
+                       vis_strategy: StrategyLike, cross: Optional[bool],
+                       projection: Union[str, ProjectionMode],
+                       prefetch_vis: bool) -> BatchResult:
+        if not sqls:
+            return BatchResult([], QueryStats.aggregate(()), 0, 0)
+        window = self._open_window()
+        plans = [self._plan_cached(s, vis_strategy, cross, projection)
+                 for s in sqls]
+        nbytes = sum(max(1, len(s)) for s in sqls)
+        self._announce_batch(nbytes, len(plans), sqls[0])
+        return self._execute_plans(plans, prefetch_vis, window)
+
+    # ------------------------------------------------------------------
+    def _open_window(self) -> Tuple:
+        """Snapshot the token's ledgers before a batch."""
+        db = self.db
+        ch = db.token.channel.stats
+        return (db.token.ledger.snapshot(), ch.bytes_to_secure,
+                ch.bytes_to_untrusted, db._planner.plans_built,
+                self.plan_cache.hits)
+
+    def _announce_batch(self, nbytes: int, n: int, head_sql: str) -> None:
+        """The batch's query texts leave Secure in a single message."""
+        token = self.db.token
+        with token.label("Vis"):
+            token.channel.to_untrusted(
+                nbytes, kind="query",
+                description=f"batch[{n}] {head_sql[:60]}",
+            )
+
+    def _prefetch_vis(self, plans: Sequence[QueryPlan]
+                      ) -> List[Dict[Tuple[str, Tuple[str, ...]],
+                                     VisResult]]:
+        """Download every plan's Vis ID lists in batched round trips.
+
+        Identical requests (same table and predicate values -- common
+        when parameter sets repeat) are deduplicated and downloaded
+        once; each execution's context is seeded with its share.
+        """
+        wanted: List[List[Tuple[Tuple[str, Tuple[str, ...]],
+                                VisRequest]]] = []
+        unique: "OrderedDict[VisRequest, Optional[VisResult]]" = \
+            OrderedDict()
+        for plan in plans:
+            per_plan = []
+            for table in plan.vis_plans:
+                preds = to_vis_predicates(
+                    plan.bound.visible_selections(table)
+                )
+                request = VisRequest(table, preds)
+                unique.setdefault(request, None)
+                per_plan.append(((table, ()), request))
+            wanted.append(per_plan)
+        requests = list(unique)
+        server = self.db._vis_server
+        with self.db.token.label("Vis"):
+            for start in range(0, len(requests), VIS_BATCH_SIZE):
+                chunk = requests[start:start + VIS_BATCH_SIZE]
+                for request, result in zip(chunk,
+                                           server.vis_batch(chunk)):
+                    unique[request] = result
+        return [
+            {slot: unique[request] for slot, request in per_plan}
+            for per_plan in wanted
+        ]
+
+    def _execute_plans(self, plans: List[QueryPlan], prefetch_vis: bool,
+                       window: Tuple) -> BatchResult:
+        db = self.db
+        seeds: Sequence[Optional[Dict]] = (
+            self._prefetch_vis(plans) if prefetch_vis
+            else [None] * len(plans)
+        )
+        results = [
+            db.execute_plan(plan, announce=False, vis_seed=seed)
+            for plan, seed in zip(plans, seeds)
+        ]
+        before, in0, out0, plans0, hits0 = window
+        ch = db.token.channel.stats
+        per_query = QueryStats.aggregate(r.stats for r in results)
+        stats = db._stats_between(before, db.token.ledger.snapshot(),
+                                  rows=())
+        stats.result_rows = per_query.result_rows
+        stats.ram_peak = per_query.ram_peak
+        stats.bytes_to_secure = ch.bytes_to_secure - in0
+        stats.bytes_to_untrusted = ch.bytes_to_untrusted - out0
+        return BatchResult(
+            results=results, stats=stats,
+            plans_computed=db._planner.plans_built - plans0,
+            cache_hits=self.plan_cache.hits - hits0,
+        )

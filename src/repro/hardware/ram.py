@@ -118,6 +118,19 @@ class SecureRam:
     def _release(self, nbytes: int) -> None:
         self.used -= nbytes
 
+    # ------------------------------------------------------------------
+    def reset_peak(self) -> int:
+        """Start a new peak-tracking window; returns the old peak.
+
+        ``peak_used`` is a high-water mark and never decays on its own,
+        so per-query reports must open a fresh window before executing
+        (otherwise every query reports the token's lifetime peak).
+        The new window starts at the currently allocated ``used``.
+        """
+        old = self.peak_used
+        self.peak_used = self.used
+        return old
+
     def assert_all_freed(self) -> None:
         """Test hook: verify no operator leaked RAM."""
         if self.used != 0:

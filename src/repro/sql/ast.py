@@ -9,6 +9,20 @@ Value = Union[int, float, str]
 
 
 @dataclass(frozen=True)
+class Parameter:
+    """A ``?`` placeholder in a predicate, filled in at execution time.
+
+    Parameters are numbered left to right in the statement text; a
+    prepared statement substitutes the ``index``-th supplied value.
+    """
+
+    index: int
+
+    def __str__(self) -> str:
+        return "?"
+
+
+@dataclass(frozen=True)
 class ColumnRef:
     """``table.column`` (the table qualifier may be omitted in source)."""
 

@@ -10,6 +10,7 @@ selection predicate as Visible (computable by Untrusted) or Hidden
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -61,10 +62,51 @@ class BoundQuery:
     projections: Tuple[BoundColumn, ...]
     aggregates: Tuple[BoundAggregate, ...] = ()
     group_by: Tuple[BoundColumn, ...] = ()
+    param_count: int = 0
 
     @property
     def is_aggregate(self) -> bool:
         return bool(self.aggregates)
+
+    @property
+    def has_parameters(self) -> bool:
+        return self.param_count > 0
+
+    def substitute(self, params: Sequence) -> "BoundQuery":
+        """Fill every ``?`` placeholder with the matching value.
+
+        Returns a fully concrete :class:`BoundQuery` (``param_count``
+        0) sharing everything but the selection predicates; with no
+        placeholders the query itself is returned unchanged.
+        """
+        if len(params) != self.param_count:
+            raise BindError(
+                f"statement takes {self.param_count} parameter(s), "
+                f"got {len(params)}"
+            )
+        if self.param_count == 0:
+            return self
+
+        def fill(value):
+            if isinstance(value, ast.Parameter):
+                return params[value.index]
+            return value
+
+        selections = tuple(
+            BoundSelection(
+                s.table, s.column,
+                IndexPredicate(
+                    s.predicate.op,
+                    fill(s.predicate.value),
+                    fill(s.predicate.value2),
+                    ([fill(v) for v in s.predicate.values]
+                     if s.predicate.values is not None else None),
+                ),
+            )
+            for s in self.selections
+        )
+        return dataclasses.replace(self, selections=selections,
+                                   param_count=0)
 
     def visible_selections(self, table: Optional[str] = None
                            ) -> List[BoundSelection]:
@@ -82,6 +124,17 @@ class BoundQuery:
             if p.table not in seen:
                 seen.append(p.table)
         return seen
+
+
+def _count_parameters(selections: Sequence[BoundSelection]) -> int:
+    """Number of ``?`` placeholders referenced by the selections."""
+    indices = []
+    for s in selections:
+        p = s.predicate
+        for value in (p.value, p.value2, *(p.values or ())):
+            if isinstance(value, ast.Parameter):
+                indices.append(value.index)
+    return max(indices) + 1 if indices else 0
 
 
 class Binder:
@@ -132,6 +185,7 @@ class Binder:
             sql=sql, tables=tuple(tables), anchor=anchor,
             selections=selections, projections=projections,
             aggregates=aggregates, group_by=group_by,
+            param_count=_count_parameters(selections),
         )
 
     # ------------------------------------------------------------------

@@ -29,7 +29,7 @@ OP = "op"
 EOF = "eof"
 
 _OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".",
-              "*", ";")
+              "*", ";", "?")
 
 
 @dataclass(frozen=True)
@@ -95,6 +95,26 @@ def tokenize(text: str) -> List[Token]:
             )
     tokens.append(Token(EOF, "", n))
     return tokens
+
+
+def normalize_sql(text: str) -> str:
+    """Canonical single-spaced form of ``text``, for cache keys.
+
+    Two statements that differ only in whitespace, keyword case or a
+    trailing semicolon normalize identically; string literals keep
+    their quotes so they cannot collide with identifiers.
+    """
+    parts: List[str] = []
+    for tok in tokenize(text):
+        if tok.kind == EOF:
+            break
+        if tok.kind == OP and tok.value == ";":
+            continue
+        if tok.kind == STRING:
+            parts.append(f"'{tok.value}'")
+        else:
+            parts.append(tok.value)
+    return " ".join(parts)
 
 
 def _number_context(tokens: List[Token]) -> bool:

@@ -29,6 +29,7 @@ from repro.sql.ast import (
     CreateTable,
     InPredicate,
     JoinPredicate,
+    Parameter,
     SelectQuery,
     Star,
     Value,
@@ -43,6 +44,7 @@ class _Parser:
     def __init__(self, text: str):
         self.tokens = tokenize(text)
         self.pos = 0
+        self.n_params = 0           # '?' placeholders seen so far
 
     # ------------------------------------------------------------------
     # token plumbing
@@ -182,8 +184,13 @@ class _Parser:
             return ColumnRef(first, self.expect(IDENT).value)
         return ColumnRef(None, first)
 
-    def parse_literal(self) -> Value:
+    def parse_literal(self) -> Union[Value, Parameter]:
         tok = self.cur
+        if tok.kind == OP and tok.value == "?":
+            self.advance()
+            param = Parameter(self.n_params)
+            self.n_params += 1
+            return param
         if tok.kind == NUMBER:
             self.advance()
             return float(tok.value) if "." in tok.value else int(tok.value)

@@ -84,6 +84,24 @@ def test_reduction_writes_are_charged():
     assert ledger.time_us_by_label["Merge"]
 
 
+def test_reduction_respects_reserved_buffers():
+    """The reduction fold must stay within the reserve-aware budget:
+    folding ``free_buffers - 1`` inputs would transiently occupy the
+    buffers promised to downstream SJoin/Store operators."""
+    store, ram = make_env(ram_pages=8)
+    op = MergeOperator(store, ram)
+    group = [flash_run(store, [i, i + 10, i + 20, i + 30, i + 40,
+                               i + 50, i + 60, i + 70])
+             for i in range(6)]
+    reserve = 5
+    budget_pages = ram.free_buffers - reserve  # 3 buffers for Merge
+    ram.reset_peak()
+    got = list(op.stream([group], reserve_buffers=reserve))
+    assert got == sorted({i + 10 * k for i in range(6) for k in range(8)})
+    assert op.reductions > 0
+    assert ram.peak_used <= budget_pages * PAGE
+
+
 def test_impossible_budget_raises():
     """With literally no free buffer, Merge cannot run at all."""
     store, ram = make_env(ram_pages=2)

@@ -1,0 +1,300 @@
+"""Tests for the query-service layer: prepared statements, the LRU
+plan cache with rebuild invalidation, batched execution, and the
+regression fixes riding along (per-query ``ram_peak``, reserve-aware
+merge reduction is covered in ``test_merge_operator``)."""
+
+import pytest
+
+from repro import GhostDB
+from repro.core.session import PlanCache, plan_key
+from repro.errors import BindError, GhostDBError
+
+
+def make_db():
+    db = GhostDB()
+    db.execute_ddl("CREATE TABLE P (id int, fk int HIDDEN REFERENCES C, "
+                   "v int, h int HIDDEN)")
+    db.execute_ddl("CREATE TABLE C (id int, v int, h int HIDDEN)")
+    db.load("C", [(i, i % 2) for i in range(10)])
+    db.load("P", [(i % 10, i, i % 4) for i in range(50)])
+    db.build()
+    return db
+
+
+TEMPLATE = ("SELECT P.id FROM P, C WHERE P.fk = C.id "
+            "AND C.h = ? AND P.v < ?")
+
+
+def concrete(h, v):
+    return ("SELECT P.id FROM P, C WHERE P.fk = C.id "
+            f"AND C.h = {h} AND P.v < {v}")
+
+
+# ---------------------------------------------------------------------------
+# prepared statements
+# ---------------------------------------------------------------------------
+
+def test_prepared_results_match_reference_across_params():
+    db = make_db()
+    stmt = db.prepare(TEMPLATE)
+    assert stmt.param_count == 2
+    for params in [(0, 10), (1, 30), (0, 50), (1, 1)]:
+        result = stmt.execute(params)
+        _, expected = db.reference_query(concrete(*params))
+        assert sorted(result.rows) == sorted(expected)
+
+
+def test_repeated_template_plans_at_most_once():
+    """Acceptance: >= 100 executions of one template plan exactly once
+    and match the reference row for row."""
+    db = make_db()
+    param_sets = [(h, v) for h in (0, 1) for v in range(5, 55)]
+    assert len(param_sets) == 100
+    planned_before = db._planner.plans_built
+    batch = db.query_many(TEMPLATE, param_sets)
+    assert db._planner.plans_built - planned_before == 1
+    assert batch.plans_computed == 1
+    assert len(batch) == 100
+    for result, params in zip(batch, param_sets):
+        _, expected = db.reference_query(concrete(*params))
+        assert sorted(result.rows) == sorted(expected)
+
+
+def test_prepared_between_and_in_placeholders():
+    db = make_db()
+    stmt = db.prepare("SELECT P.id FROM P WHERE P.v BETWEEN ? AND ? "
+                      "AND P.h IN (?, ?)")
+    result = stmt.execute((10, 30, 1, 2))
+    _, expected = db.reference_query(
+        "SELECT P.id FROM P WHERE P.v BETWEEN 10 AND 30 "
+        "AND P.h IN (1, 2)")
+    assert sorted(result.rows) == sorted(expected)
+
+
+def test_param_count_mismatch_raises():
+    db = make_db()
+    stmt = db.prepare(TEMPLATE)
+    with pytest.raises(BindError):
+        stmt.execute((1,))
+    with pytest.raises(BindError):
+        stmt.execute((1, 2, 3))
+
+
+def test_unbound_placeholders_rejected_outside_prepare():
+    db = make_db()
+    with pytest.raises(BindError):
+        db.query(TEMPLATE)
+    with pytest.raises(BindError):
+        db.plan_query(TEMPLATE)
+
+
+def test_session_query_with_params():
+    db = make_db()
+    session = db.session()
+    result = session.query(TEMPLATE, params=(1, 30))
+    _, expected = db.reference_query(concrete(1, 30))
+    assert sorted(result.rows) == sorted(expected)
+
+
+# ---------------------------------------------------------------------------
+# plan cache
+# ---------------------------------------------------------------------------
+
+def test_plan_cache_hit_miss_counting():
+    db = make_db()
+    session = db.session()
+    sql = "SELECT C.id FROM C WHERE C.h = 1"
+    session.query(sql)
+    assert (session.plan_cache.hits, session.plan_cache.misses) == (0, 1)
+    session.query(sql)
+    assert (session.plan_cache.hits, session.plan_cache.misses) == (1, 1)
+
+
+def test_plan_cache_key_normalizes_sql_text():
+    db = make_db()
+    session = db.session()
+    session.query("SELECT C.id FROM C WHERE C.h = 1")
+    session.query("select   C.id  FROM C  where C.h = 1 ;")
+    assert session.plan_cache.hits == 1
+    assert len(session.plan_cache) == 1
+
+
+def test_plan_cache_key_separates_strategy_knobs():
+    db = make_db()
+    sql = "SELECT P.id FROM P, C WHERE P.fk = C.id AND C.v = 1"
+    assert plan_key(sql, "pre", None, "project") != \
+        plan_key(sql, "post", None, "project")
+    assert plan_key(sql, None, None, "project") != \
+        plan_key(sql, None, None, "brute-force")
+    session = db.session()
+    session.query(sql, vis_strategy="pre")
+    session.query(sql, vis_strategy="post")
+    assert session.plan_cache.misses == 2
+    assert len(session.plan_cache) == 2
+
+
+def test_plan_cache_lru_eviction():
+    cache = PlanCache(capacity=2)
+    k1, k2, k3 = (plan_key(f"SELECT C.id FROM C WHERE C.v = {i}",
+                           None, None, "project") for i in (1, 2, 3))
+    cache.put(k1, "p1")
+    cache.put(k2, "p2")
+    assert cache.get(k1) == "p1"      # k1 is now most recent
+    cache.put(k3, "p3")               # evicts k2
+    assert cache.evictions == 1
+    assert k2 not in cache
+    assert cache.get(k1) == "p1"
+    assert cache.get(k3) == "p3"
+
+
+def test_sessions_have_isolated_caches():
+    db = make_db()
+    s1, s2 = db.session(), db.session()
+    sql = "SELECT C.id FROM C WHERE C.h = 1"
+    s1.query(sql)
+    s2.query(sql)
+    assert s1.plan_cache.misses == 1
+    assert s2.plan_cache.misses == 1
+    assert s2.plan_cache.hits == 0
+
+
+# ---------------------------------------------------------------------------
+# rebuild invalidation
+# ---------------------------------------------------------------------------
+
+def test_rebuild_invalidates_plan_caches():
+    db = make_db()
+    session = db.session()
+    sql = "SELECT C.id FROM C WHERE C.h = 1"
+    first = session.query(sql)
+    assert len(session.plan_cache) == 1
+    db.rebuild()
+    assert db.generation == 1
+    assert len(session.plan_cache) == 0
+    assert session.plan_cache.invalidations == 1
+    again = session.query(sql)
+    assert sorted(again.rows) == sorted(first.rows)
+    assert session.plan_cache.misses == 2
+
+
+def test_rebuild_preserves_data_and_statements():
+    db = make_db()
+    stmt = db.prepare(TEMPLATE)
+    before = stmt.execute((1, 30))
+    db.rebuild()
+    after = stmt.execute((1, 30))
+    assert sorted(after.rows) == sorted(before.rows)
+
+
+def test_rebuild_with_restricted_indexes():
+    db = make_db()
+    db.rebuild(indexed_columns={"C": ("h",), "P": ()})
+    result = db.query("SELECT P.id FROM P, C WHERE P.fk = C.id "
+                      "AND C.h = 1 AND P.v < 30")
+    _, expected = db.reference_query(concrete(1, 30))
+    assert sorted(result.rows) == sorted(expected)
+
+
+# ---------------------------------------------------------------------------
+# batched execution
+# ---------------------------------------------------------------------------
+
+def test_mixed_sql_batch_matches_individual_queries():
+    db = make_db()
+    sqls = ["SELECT C.id FROM C WHERE C.h = 1",
+            "SELECT P.id FROM P WHERE P.h = 2",
+            concrete(0, 40)]
+    batch = db.query_many(sqls)
+    assert len(batch) == 3
+    for sql, result in zip(sqls, batch):
+        _, expected = db.reference_query(sql)
+        assert sorted(result.rows) == sorted(expected)
+
+
+def test_batch_stats_aggregate_over_the_window():
+    db = make_db()
+    param_sets = [(1, v) for v in (10, 20, 30)]
+    batch = db.query_many(TEMPLATE, param_sets)
+    assert batch.stats.result_rows == sum(
+        r.stats.result_rows for r in batch
+    )
+    assert batch.stats.ram_peak == max(r.stats.ram_peak for r in batch)
+    # the window covers shared costs too, so it can only be >= the sum
+    assert batch.stats.total_s >= sum(
+        r.stats.total_s for r in batch
+    ) - 1e-9
+    assert batch.stats.bytes_to_secure > 0
+
+
+def test_batch_amortizes_outbound_round_trips():
+    db = make_db()
+    param_sets = [(h, v) for h in (0, 1) for v in range(10, 20)]
+    ch = db.token.channel.stats
+
+    before = ch.messages_to_untrusted
+    stmt = db.session().prepare(TEMPLATE)
+    for params in param_sets:
+        stmt.execute(params)
+    loop_msgs = ch.messages_to_untrusted - before
+
+    before = ch.messages_to_untrusted
+    db.session().query_many(TEMPLATE, param_sets)
+    batch_msgs = ch.messages_to_untrusted - before
+
+    assert batch_msgs < loop_msgs
+
+
+def test_empty_batch():
+    db = make_db()
+    batch = db.query_many(TEMPLATE, [])
+    assert len(batch) == 0
+    assert batch.stats.result_rows == 0
+
+
+def test_param_sets_with_sql_list_rejected():
+    db = make_db()
+    with pytest.raises(GhostDBError):
+        db.query_many(["SELECT C.id FROM C WHERE C.h = 1"],
+                      param_sets=[(1,)])
+
+
+def test_batch_without_prefetch_matches_reference():
+    db = make_db()
+    param_sets = [(1, 20), (0, 35)]
+    batch = db.query_many(TEMPLATE, param_sets, prefetch_vis=False)
+    for result, params in zip(batch, param_sets):
+        _, expected = db.reference_query(concrete(*params))
+        assert sorted(result.rows) == sorted(expected)
+
+
+def test_batched_queries_stay_leak_free():
+    """The batched path sends only query texts and Vis requests."""
+    db = make_db()
+    db.token.channel.stats.outbound_log.clear()
+    db.query_many(TEMPLATE, [(1, 20), (0, 30)])
+    kinds = {m.kind for m in db.audit_outbound()}
+    assert kinds <= {"query", "vis_request"}
+
+
+# ---------------------------------------------------------------------------
+# ram_peak regression (satellite fix)
+# ---------------------------------------------------------------------------
+
+def test_ram_peak_is_per_query_not_lifetime():
+    """Acceptance: two queries of different sizes on the same instance
+    report different peaks (the old code reported the token's lifetime
+    peak for every query)."""
+    db = make_db()
+    big = db.query("SELECT P.id, C.id FROM P, C WHERE P.fk = C.id "
+                   "AND C.h = 1")
+    small = db.query("SELECT C.id FROM C WHERE C.h = 1")
+    assert small.stats.ram_peak > 0
+    assert small.stats.ram_peak < big.stats.ram_peak
+
+
+def test_ram_peak_stable_across_repetitions():
+    db = make_db()
+    sql = "SELECT C.id FROM C WHERE C.h = 1"
+    first = db.query(sql).stats.ram_peak
+    second = db.query(sql).stats.ram_peak
+    assert first == second

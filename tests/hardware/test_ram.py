@@ -41,6 +41,28 @@ def test_peak_tracking():
     assert ram.peak_used == 5000
 
 
+def test_reset_peak_opens_new_window():
+    ram = SecureRam(capacity=8192)
+    a = ram.alloc(5000)
+    a.free()
+    assert ram.reset_peak() == 5000
+    assert ram.peak_used == 0
+    b = ram.alloc(1200)
+    assert ram.peak_used == 1200
+    b.free()
+
+
+def test_reset_peak_starts_at_live_allocations():
+    ram = SecureRam(capacity=8192)
+    held = ram.alloc(3000)
+    spike = ram.alloc(4000)
+    spike.free()
+    assert ram.reset_peak() == 7000
+    # the new window starts at what is still allocated, not at zero
+    assert ram.peak_used == 3000
+    held.free()
+
+
 def test_buffer_allocation():
     ram = SecureRam(capacity=65536, page_size=2048)
     bufs = [ram.alloc_buffer() for _ in range(32)]
