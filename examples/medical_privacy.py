@@ -37,7 +37,7 @@ def main() -> None:
         "AND Doctors.specialty = 'Psychiatrist' "
         "AND Patients.bodymassindex > 25"
     )
-    result = db.query(sql)
+    result = db.execute(sql)
     print(f"   {len(result.rows)} measurements, "
           f"{result.stats.total_s * 1000:.1f} ms simulated")
     _, expected = db.reference_query(sql)
@@ -51,7 +51,7 @@ def main() -> None:
         "FROM Patients WHERE Patients.age >= 80 "
         "AND Patients.bodymassindex > 35"
     )
-    result = db.query(sql)
+    result = db.execute(sql)
     for row in result.rows[:5]:
         print("  ", row)
     _, expected = db.reference_query(sql)
@@ -66,16 +66,33 @@ def main() -> None:
         "AND Patients.doctor_id = Doctors.id "
         "AND Patients.age < 20 AND Doctors.name = 'surname3'"
     )
-    result = db.query(sql, vis_strategy="pre")
+    result = db.execute(sql, vis_strategy="pre")
     for op in ("Merge", "SJoin", "Store", "Project"):
         bar = "#" * int(400 * result.stats.operator_s(op))
         print(f"   {op:8s} {result.stats.operator_s(op) * 1000:8.2f} ms {bar}")
 
     print()
+    print("the database stays live: admitting a patient is one append")
+    insert = db.execute(
+        "INSERT INTO Patients (doctor_id, first_name, name, ssn, "
+        "address, birthdate, bodymassindex, age, sexe, city, zipcode) "
+        "VALUES (0, 'Ada', 'patient X', '000-00-000', '1 rue de R.', "
+        "'1985-03-01', 36.5, 41, 'F', 'Paris', '75001')"
+    )
+    print(f"   inserted in {insert.stats.total_s * 1000:.3f} ms simulated "
+          f"({insert.stats.bytes_to_untrusted} public bytes out, "
+          f"hidden values provisioned securely)")
+    sql = ("SELECT Patients.id, Patients.name FROM Patients "
+           "WHERE Patients.age >= 80 AND Patients.bodymassindex > 35")
+    result = db.execute(sql)
+    _, expected = db.reference_query(sql)
+    assert sorted(result.rows) == sorted(expected)
+
+    print()
     stats = db.token.channel.stats
     print(f"total bytes into the token:  {stats.bytes_to_secure}")
     print(f"total bytes out of the token: {stats.bytes_to_untrusted} "
-          f"(queries + Vis requests only)")
+          f"(queries, Vis requests and visible halves only)")
 
 
 if __name__ == "__main__":

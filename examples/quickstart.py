@@ -11,6 +11,10 @@ The visible predicate (age) is evaluated by Untrusted, the hidden one
 two ID lists are intersected on the token.  Nothing hidden ever leaves
 the key -- the audit at the end proves it.
 
+Everything goes through the unified ``db.execute()`` entry point --
+DDL, bulk load, queries, and (after ``build()``) incremental INSERT
+and DELETE against the live database.
+
 Run:  python examples/quickstart.py
 """
 
@@ -24,7 +28,7 @@ def main() -> None:
 
     # the paper's CREATE TABLE, section 2.1 (plus an explicit weight
     # attribute so the projection shows hidden values coming back)
-    db.execute_ddl(
+    db.execute(
         "CREATE TABLE Patients (id int, name char(200) HIDDEN, age int, "
         "city char(100), bodymassindex int HIDDEN)"
     )
@@ -49,7 +53,7 @@ def main() -> None:
     print(db.explain(sql))
     print()
 
-    result = db.query(sql)
+    result = db.execute(sql)
     print(f"{len(result.rows)} matching patients:")
     for row in result.rows[:10]:
         print("  ", row)
@@ -67,6 +71,25 @@ def main() -> None:
     _, expected = db.reference_query(sql)
     assert sorted(result.rows) == sorted(expected)
     print("\nresult verified against the reference evaluator.")
+
+    # the database stays live after build(): INSERT appends to the
+    # flash-resident structures (O(appended bytes)), DELETE tombstones
+    insert = db.execute(
+        "INSERT INTO Patients VALUES ('new-patient', 50, 'Paris', 23)"
+    )
+    print(f"\nincremental insert: {insert.rows_affected} row in "
+          f"{insert.stats.total_s * 1000:.3f} ms simulated "
+          f"(no rebuild needed)")
+    result = db.execute(sql)
+    _, expected = db.reference_query(sql)
+    assert sorted(result.rows) == sorted(expected)
+    print(f"the query now matches {len(result.rows)} patients")
+
+    delete = db.execute("DELETE FROM Patients WHERE age = ?",
+                        params=(50,))
+    print(f"deleted {delete.rows_affected} rows; "
+          f"{db.catalog.live_rows('Patients')} live rows remain")
+    assert db.execute(sql).rows == []
 
     # repeated templates: prepare once, execute many.  The plan is
     # computed on the first execution only, and query_many amortizes

@@ -8,16 +8,18 @@ Bloom filters), the distributed Visible/Hidden query processor
 and the paper's complete experimental harness.
 """
 
+from repro.core.dml import DmlResult
 from repro.core.ghostdb import GhostDB
 from repro.core.plan import ProjectionMode, VisStrategy
 from repro.core.session import (BatchResult, PlanCache, PreparedStatement,
                                 Session)
 from repro.hardware.token import SecureToken, TokenConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchResult",
+    "DmlResult",
     "GhostDB",
     "PlanCache",
     "PreparedStatement",

@@ -14,7 +14,7 @@ set; shapes, orderings and crossover points are preserved.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.core.ghostdb import GhostDB
 from repro.index.sizing import IndexSizingModel, TableSpec
@@ -80,7 +80,7 @@ def _fmt(value) -> str:
 
 
 def _timed(db: GhostDB, sql: str, **kwargs) -> float:
-    return db.query(sql, **kwargs).stats.total_s
+    return db.execute(sql, **kwargs).stats.total_s
 
 
 # ---------------------------------------------------------------------------
@@ -277,8 +277,8 @@ def _decomposition(db: GhostDB, sql_of, sv_values) -> List[Dict]:
     rows = []
     for sv in sv_values:
         for strategy, tag in (("pre", "PRE"), ("post", "POST")):
-            result = db.query(sql_of(sv), vis_strategy=strategy,
-                              cross=True)
+            result = db.execute(sql_of(sv), vis_strategy=strategy,
+                                cross=True)
             row = {"config": f"{tag}{int(sv * 100)}"}
             for op in DECOMPOSITION_OPS:
                 row[op] = result.stats.operator_s(op)

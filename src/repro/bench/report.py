@@ -17,7 +17,7 @@ from __future__ import annotations
 import pathlib
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from repro.bench import experiments as exp
 

@@ -5,19 +5,32 @@ attributes, row position == id), plus the fully indexed model of
 section 3.2: one Subtree Key Table per non-leaf table, a climbing
 index on each indexed hidden attribute, and a climbing index on each
 non-root table's id (used to climb Visible selections).
+
+Incremental DML adds three per-table pieces of append-only state:
+
+* a *tombstone* set (flash-logged) of deleted ids, consulted by the
+  executor and the reference oracle -- deletes never compact files;
+* the *fk delta*: which new parent rows reference each child id since
+  the build, letting climbing-index lookups reach appended rows
+  without rebuilding ancestor runs;
+* a *data generation* counter, bumped by every INSERT/DELETE, that
+  session plan caches compare against so DML invalidates only plans
+  touching the mutated table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import PlanError
 from repro.hardware.token import SecureToken
 from repro.index.climbing import ClimbingIndex
 from repro.index.skt import SubtreeKeyTable
+from repro.flash.constants import ID_SIZE
+from repro.flash.store import FlashFile
 from repro.schema.model import Column, Schema, Table
-from repro.storage.heap import HeapFile
+from repro.storage.heap import HeapFile, append_fixed_record
 
 
 @dataclass
@@ -44,6 +57,20 @@ class SecureCatalog:
         self.skts: Dict[str, SubtreeKeyTable] = {}
         self.attr_indexes: Dict[Tuple[str, str], ClimbingIndex] = {}
         self.id_indexes: Dict[str, ClimbingIndex] = {}
+        # raw loaded rows, kept for the reference oracle and rebuild();
+        # DML appends here too so the oracle tracks the live database
+        self.raw_rows: Dict[str, List[Tuple]] = {}
+        # --- incremental-DML state (all append-only) ---
+        self.tombstones: Dict[str, Set[int]] = {
+            name: set() for name in schema.tables
+        }
+        self.fk_deltas: Dict[str, Dict[int, List[int]]] = {
+            name: {} for name in schema.tables
+        }
+        self.data_generations: Dict[str, int] = {
+            name: 0 for name in schema.tables
+        }
+        self._tombstone_logs: Dict[str, FlashFile] = {}
 
     # ------------------------------------------------------------------
     def image(self, table: str) -> TableImage:
@@ -78,10 +105,61 @@ class SecureCatalog:
             raise PlanError(f"no id climbing index for {table!r}") from None
 
     # ------------------------------------------------------------------
+    # incremental-DML state
+    # ------------------------------------------------------------------
+    def is_live(self, table: str, rid: int) -> bool:
+        """Whether row ``rid`` has not been tombstoned."""
+        return rid not in self.tombstones[table]
+
+    def live_rows(self, table: str) -> int:
+        """Row count net of tombstones."""
+        return self.n_rows(table) - len(self.tombstones[table])
+
+    def mark_deleted(self, table: str, ids: Iterable[int]) -> int:
+        """Tombstone ``ids``; appends each to the flash tombstone log
+        (tail-page appends, charged like any NAND write).
+
+        Returns how many previously live rows died.  Files are never
+        compacted -- a compacting :meth:`~repro.core.ghostdb.GhostDB.rebuild`
+        reclaims the space when tombstones accumulate.
+        """
+        dead = self.tombstones[table]
+        log = self._tombstone_logs.get(table)
+        if log is None:
+            log = self.token.store.create(f"tombstones_{table}")
+            self._tombstone_logs[table] = log
+        n_before = len(dead)
+        for rid in ids:
+            if rid not in dead:
+                append_fixed_record(log, rid.to_bytes(ID_SIZE, "little"),
+                                    len(dead), self.token.page_size)
+                dead.add(rid)
+        return len(dead) - n_before
+
+    def record_fk_delta(self, child_table: str, child_id: int,
+                        parent_id: int) -> None:
+        """Note that new row ``parent_id`` references ``child_id``."""
+        self.fk_deltas[child_table].setdefault(child_id, []).append(
+            parent_id
+        )
+
+    def bump_generation(self, table: str) -> None:
+        self.data_generations[table] += 1
+
+    def generations_for(self, tables: Iterable[str]
+                        ) -> Tuple[Tuple[str, int], ...]:
+        """Snapshot of the data generations a plan depends on."""
+        return tuple(sorted(
+            (t, self.data_generations[t]) for t in tables
+        ))
+
+    # ------------------------------------------------------------------
     def storage_report(self) -> Dict[str, int]:
         """Flash bytes per component family (for documentation/tests)."""
         report = {"hidden_images": 0, "skts": 0, "attr_indexes": 0,
-                  "id_indexes": 0}
+                  "id_indexes": 0, "tombstones": 0}
+        for log in self._tombstone_logs.values():
+            report["tombstones"] += log.n_bytes
         for img in self.images.values():
             if img.heap is not None:
                 report["hidden_images"] += img.heap.file.n_bytes

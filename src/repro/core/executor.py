@@ -15,10 +15,9 @@ figures (15/16) rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
 
-from repro.core.catalog import SecureCatalog
 from repro.core.merge import MergeOperator
 from repro.core.operators import (
     STORE_LABEL,
@@ -33,17 +32,12 @@ from repro.core.operators import (
     op_vis,
 )
 from repro.core.plan import (
-    ProjectionMode,
     QepSjResult,
     QueryPlan,
     VisPlan,
     VisStrategy,
 )
-from repro.errors import PlanError
-from repro.hardware.token import SecureToken
-from repro.sql.binder import BoundQuery
 from repro.storage.runs import IdRun, U32FileBuilder, U32View
-from repro.untrusted.server import VisServer
 
 
 @dataclass
@@ -230,12 +224,23 @@ class QepSjExecutor:
 
     # ------------------------------------------------------------------
     def _anchor_stream(self, groups: List[List[IdRun]]) -> Iterator[int]:
+        anchor = self.ctx.bound.anchor
         if groups:
             # reserve: 1 SJoin page + output builders + slack
-            return self.merge.stream(groups, reserve_buffers=4)
-        # no restricting predicate at all: every anchor tuple qualifies
-        n = self.ctx.catalog.n_rows(self.ctx.bound.anchor)
-        return iter(range(n))
+            stream: Iterator[int] = self.merge.stream(groups,
+                                                      reserve_buffers=4)
+        else:
+            # no restricting predicate at all: every anchor tuple
+            # qualifies
+            stream = iter(range(self.ctx.catalog.n_rows(anchor)))
+        # tombstoned rows stay in every file (deletes are append-only)
+        # and Untrusted keeps serving them; the token drops them here.
+        # Deletes RESTRICT, so a live anchor never reaches a dead
+        # descendant -- filtering the anchor ids suffices.
+        dead = self.ctx.catalog.tombstones.get(anchor)
+        if dead:
+            return (rid for rid in stream if rid not in dead)
+        return stream
 
     def _materialize_anchor(self, stream: Iterator[int]) -> U32View:
         """Store the anchor ID list (the paper's ``Store`` cost)."""

@@ -1,23 +1,36 @@
 """GhostDB public facade.
 
-Typical use::
+Every statement goes through one entry point, ``db.execute()``::
 
     from repro import GhostDB
 
     db = GhostDB()
-    db.execute_ddl("CREATE TABLE Doctors (id int, specialty char(20), "
-                   "name char(20) HIDDEN)")
-    db.execute_ddl("CREATE TABLE Patients (id int, "
-                   "did int HIDDEN REFERENCES Doctors, age int, "
-                   "bodymassindex float HIDDEN)")
-    db.load("Doctors", [("Psychiatrist", "Freud"), ...])
-    db.load("Patients", [(0, 51, 27.5), ...])
+    db.execute("CREATE TABLE Doctors (id int, specialty char(20), "
+               "name char(20) HIDDEN)")
+    db.execute("CREATE TABLE Patients (id int, "
+               "did int HIDDEN REFERENCES Doctors, age int, "
+               "bodymassindex float HIDDEN)")
+    db.execute("INSERT INTO Doctors VALUES ('Psychiatrist', 'Freud')")
+    db.execute("INSERT INTO Patients VALUES (0, 51, 27.5)")
     db.build()
-    result = db.query("SELECT Patients.id FROM Patients, Doctors "
-                      "WHERE Patients.did = Doctors.id "
-                      "AND Doctors.specialty = 'Psychiatrist' "
-                      "AND Patients.bodymassindex > 25")
+    result = db.execute("SELECT Patients.id FROM Patients, Doctors "
+                        "WHERE Patients.did = Doctors.id "
+                        "AND Doctors.specialty = 'Psychiatrist' "
+                        "AND Patients.bodymassindex > 25")
     print(result.rows, result.stats.total_s)
+
+    # the database stays alive after build(): incremental DML appends
+    # to the flash-resident structures, no rebuild required
+    db.execute("INSERT INTO Patients VALUES (0, 44, 31.0)")
+    db.execute("DELETE FROM Patients WHERE bodymassindex > 30")
+
+``execute()`` lexes, binds and dispatches any supported statement --
+``CREATE TABLE``, ``INSERT INTO``, ``DELETE FROM`` and ``SELECT`` --
+and takes ``?`` placeholders via ``params``.  SELECTs run through the
+default session's plan cache; DML returns a
+:class:`~repro.core.dml.DmlResult` whose cost scales with the
+appended/affected rows, not the table size.  (``db.execute_ddl()`` and
+``db.query()`` survive as deprecated shims.)
 
 Repeated query templates should go through the prepared-statement
 layer, which plans once and substitutes parameters per execution::
@@ -32,19 +45,21 @@ layer, which plans once and substitutes parameters per execution::
     print(batch.stats.total_s, batch.plans_computed)
 
 Everything hidden stays on the simulated secure token; the only bytes
-that ever leave it are the query texts -- including prepared-statement
-parameters, which are part of the (public) query (verifiable via
-``db.audit_outbound()``).
+that ever leave it are statement texts (with INSERTed hidden values
+masked), Vis requests, and the visible halves of inserted rows --
+verifiable via ``db.audit_outbound()``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 import weakref
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.aggregate import apply_aggregates, effective_projections
 from repro.core.catalog import SecureCatalog
+from repro.core.dml import DmlExecutor, DmlResult
 from repro.core.executor import QepSjExecutor, QueryResult, QueryStats
 from repro.core.loader import Loader
 from repro.core.operators import ExecContext
@@ -55,9 +70,11 @@ from repro.core.reference import ReferenceEngine
 from repro.core.session import BatchResult, PreparedStatement, Session
 from repro.errors import BindError, GhostDBError, SchemaError
 from repro.hardware.token import SecureToken, TokenConfig
-from repro.schema.ddl import table_from_sql
+from repro.schema.ddl import column_from_def, table_from_sql
 from repro.schema.model import Schema, Table
-from repro.sql.binder import Binder
+from repro.sql import ast
+from repro.sql.binder import Binder, BoundDelete, BoundInsert
+from repro.sql.parser import parse
 from repro.untrusted.engine import UntrustedEngine
 from repro.untrusted.server import VisServer
 
@@ -78,18 +95,122 @@ class GhostDB:
         self._vis_server: Optional[VisServer] = None
         self._planner: Optional[Planner] = None
         self._reference: Optional[ReferenceEngine] = None
+        self._dml: Optional[DmlExecutor] = None
         self._sessions: "weakref.WeakSet[Session]" = weakref.WeakSet()
         self._default_session: Optional[Session] = None
         self._generation = 0
 
     # ------------------------------------------------------------------
+    # the unified statement entry point
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Optional[Sequence] = None,
+                vis_strategy: StrategyLike = None,
+                cross: Optional[bool] = None,
+                projection: Union[str, ProjectionMode] = "project",
+                ) -> Union[QueryResult, DmlResult, None]:
+        """Execute one SQL statement of any supported kind.
+
+        * ``CREATE TABLE`` registers a table (before any rows exist);
+          returns ``None``.
+        * ``INSERT INTO`` before :meth:`build` queues rows for the bulk
+          load (returns ``None``); after :meth:`build` it appends
+          incrementally to every flash-resident structure and returns a
+          :class:`DmlResult` whose cost scales with the appended bytes.
+        * ``DELETE FROM`` tombstones matching rows (after ``build()``)
+          and returns a :class:`DmlResult`.
+        * ``SELECT`` runs through the default session's plan cache and
+          returns a :class:`QueryResult`; the strategy knobs
+          (``vis_strategy``/``cross``/``projection``) apply here.
+
+        ``?`` placeholders anywhere a literal is allowed are filled
+        from ``params``.
+        """
+        parsed = parse(sql)
+        if isinstance(parsed, ast.CreateTable):
+            if params:
+                raise BindError("DDL statements take no parameters")
+            self._register_table(Table(
+                parsed.name, [column_from_def(c) for c in parsed.columns]
+            ))
+            return None
+        if isinstance(parsed, ast.SelectQuery):
+            self._require_built()
+            return self._session_default().query(
+                sql, params, vis_strategy, cross, projection,
+                parsed=parsed,
+            )
+        self._finalize_schema()
+        if isinstance(parsed, ast.InsertStatement):
+            bound = self._binder.bind_insert(parsed, sql)
+            bound = self._substitute_dml(bound, params)
+            if self.catalog is None:
+                # before build(): inserts ride the bulk provisioning path
+                self._loader.add_rows(bound.table, bound.rows)
+                return None
+            return self._run_dml(bound)
+        if isinstance(parsed, ast.DeleteStatement):
+            self._require_built()
+            bound = self._binder.bind_delete(parsed, sql)
+            return self._run_dml(self._substitute_dml(bound, params))
+        raise BindError(
+            f"unsupported statement {type(parsed).__name__}"
+        )  # pragma: no cover - parser is exhaustive
+
+    @staticmethod
+    def _substitute_dml(bound: Union[BoundInsert, BoundDelete],
+                        params: Optional[Sequence]
+                        ) -> Union[BoundInsert, BoundDelete]:
+        if params is None:
+            if bound.has_parameters:
+                raise BindError(
+                    f"statement has {bound.param_count} unbound ? "
+                    f"placeholder(s): pass params"
+                )
+            return bound
+        return bound.substitute(tuple(params))
+
+    def _run_dml(self, bound: Union[BoundInsert, BoundDelete]
+                 ) -> DmlResult:
+        """Apply one DML statement inside a per-statement cost window."""
+        before = self.token.ledger.snapshot()
+        self.token.ram.reset_peak()
+        ch = self.token.channel.stats
+        in_before, out_before = ch.bytes_to_secure, ch.bytes_to_untrusted
+        if isinstance(bound, BoundInsert):
+            statement = "insert"
+            affected = self._dml.insert(bound)
+        else:
+            statement = "delete"
+            affected = self._dml.delete(bound)
+        stats = self._stats_between(before, self.token.ledger.snapshot(),
+                                    rows=())
+        stats.bytes_to_secure = ch.bytes_to_secure - in_before
+        stats.bytes_to_untrusted = ch.bytes_to_untrusted - out_before
+        stats.ram_peak = self.token.ram.peak_used
+        stats.result_rows = affected
+        return DmlResult(statement=statement, table=bound.table,
+                         rows_affected=affected, stats=stats)
+
+    # ------------------------------------------------------------------
     # schema definition and loading
     # ------------------------------------------------------------------
-    def execute_ddl(self, sql: str) -> None:
-        """Register one CREATE TABLE statement."""
+    def _register_table(self, table: Table) -> None:
         if self.schema is not None:
             raise SchemaError("schema already finalized (rows were loaded)")
-        self._ddl_tables.append(table_from_sql(sql))
+        self._ddl_tables.append(table)
+
+    def execute_ddl(self, sql: str) -> None:
+        """Register one CREATE TABLE statement.
+
+        .. deprecated:: use :meth:`execute` -- the unified statement
+           entry point -- instead.
+        """
+        warnings.warn(
+            "GhostDB.execute_ddl() is deprecated; use "
+            "GhostDB.execute(sql) instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        self._register_table(table_from_sql(sql))
 
     def _finalize_schema(self) -> None:
         if self.schema is None:
@@ -118,11 +239,18 @@ class GhostDB:
         if self.catalog is not None:
             raise SchemaError("database already built")
         self.catalog = self._loader.build()
+        self._wire_engines()
+        self.token.reset_costs()
+
+    def _wire_engines(self) -> None:
+        """(Re)create the engines that live on top of one catalog."""
         self._vis_server = VisServer(self.untrusted, self.token)
         self._planner = Planner(self.catalog, self._vis_server)
         self._reference = ReferenceEngine(self.schema,
-                                          self.catalog.raw_rows)
-        self.token.reset_costs()
+                                          self.catalog.raw_rows,
+                                          self.catalog.tombstones)
+        self._dml = DmlExecutor(self.schema, self.token, self.catalog,
+                                self._vis_server, self._planner)
 
     def _require_built(self) -> None:
         if self.catalog is None:
@@ -131,9 +259,11 @@ class GhostDB:
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
-    def _bind(self, sql: str):
-        """Bind ``sql``, normalizing aggregate projections."""
-        bound = self._binder.bind_sql(sql)
+    def _bind(self, sql: str, parsed: Optional[ast.SelectQuery] = None):
+        """Bind ``sql`` (or its already-parsed AST), normalizing
+        aggregate projections."""
+        bound = (self._binder.bind(parsed, sql) if parsed is not None
+                 else self._binder.bind_sql(sql))
         if bound.is_aggregate:
             bound = dataclasses.replace(
                 bound, projections=effective_projections(bound)
@@ -163,6 +293,7 @@ class GhostDB:
               vis_strategy: StrategyLike = None,
               cross: Optional[bool] = None,
               projection: Union[str, ProjectionMode] = "project",
+              params: Optional[Sequence] = None,
               ) -> QueryResult:
         """Execute a SELECT linking Visible and Hidden data.
 
@@ -170,9 +301,18 @@ class GhostDB:
         visible selection (``None`` = cost-based choice); ``cross``
         toggles Cross-filtering; ``projection`` picks the projection
         algorithm variant.
+
+        .. deprecated:: use :meth:`execute` -- the unified statement
+           entry point -- instead.
         """
-        plan = self.plan_query(sql, vis_strategy, cross, projection)
-        return self.execute_plan(plan)
+        warnings.warn(
+            "GhostDB.query() is deprecated; use GhostDB.execute(sql) "
+            "instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        self._require_built()
+        return self._session_default().query(sql, params, vis_strategy,
+                                             cross, projection)
 
     def execute_plan(self, plan: QueryPlan, *, announce: bool = True,
                      vis_seed: Optional[Dict] = None) -> QueryResult:
@@ -252,6 +392,17 @@ class GhostDB:
         """Bumped by :meth:`rebuild`; plans are valid per generation."""
         return self._generation
 
+    @property
+    def table_generations(self) -> Dict[str, int]:
+        """Per-table data generations (bumped by INSERT/DELETE).
+
+        Session plan caches compare cached entries against this map,
+        so DML invalidates only plans touching the mutated table.
+        """
+        if self.catalog is None:
+            return {}
+        return self.catalog.data_generations
+
     def session(self, plan_cache_capacity: int = 64) -> Session:
         """A new session (own plan cache) over this database."""
         return Session(self, plan_cache_capacity)
@@ -305,9 +456,16 @@ class GhostDB:
         token, bumps :attr:`generation` and invalidates every live
         session's plan cache: cached plans may reference indexes that
         no longer exist after a rebuild.
+
+        Rebuilding also *compacts*: tombstoned rows are dropped, ids
+        are re-densified (foreign keys remapped accordingly) and every
+        climbing-index delta log is folded back into a bulk-built
+        tree.  Incremental DML keeps the database live between
+        rebuilds; a rebuild is worthwhile once tombstones or deltas
+        accumulate.
         """
         self._require_built()
-        raw_rows = self.catalog.raw_rows
+        raw_rows = self._compacted_rows()
         if indexed_columns is not None:
             self._indexed_columns = indexed_columns
         self.token = SecureToken(self.token.config)
@@ -317,14 +475,46 @@ class GhostDB:
         for table, rows in raw_rows.items():
             self._loader.add_rows(table, rows)
         self.catalog = self._loader.build()
-        self._vis_server = VisServer(self.untrusted, self.token)
-        self._planner = Planner(self.catalog, self._vis_server)
-        self._reference = ReferenceEngine(self.schema,
-                                          self.catalog.raw_rows)
+        self._wire_engines()
         self.token.reset_costs()
         self._generation += 1
         for session in list(self._sessions):
             session.invalidate()
+
+    def _compacted_rows(self) -> Dict[str, List[Tuple]]:
+        """Live raw rows with dense new ids and remapped foreign keys.
+
+        Deletes RESTRICT, so every live foreign key points at a live
+        child row and the remap is total.
+        """
+        tombstones = self.catalog.tombstones
+        id_maps: Dict[str, Dict[int, int]] = {}
+        for name, rows in self.catalog.raw_rows.items():
+            dead = tombstones[name]
+            id_maps[name] = {}
+            for rid in range(len(rows)):
+                if rid not in dead:
+                    id_maps[name][rid] = len(id_maps[name])
+        out: Dict[str, List[Tuple]] = {}
+        for name, rows in self.catalog.raw_rows.items():
+            table = self.schema.table(name)
+            fk_positions = [
+                (table.column_position(c.name), id_maps[c.references])
+                for c in table.foreign_keys
+            ]
+            dead = tombstones[name]
+            kept: List[Tuple] = []
+            for rid, row in enumerate(rows):
+                if rid in dead:
+                    continue
+                if fk_positions:
+                    cells = list(row)
+                    for pos, mapping in fk_positions:
+                        cells[pos] = mapping[cells[pos]]
+                    row = tuple(cells)
+                kept.append(row)
+            out[name] = kept
+        return out
 
     # ------------------------------------------------------------------
     # oracle, audit, reports

@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.catalog import SecureCatalog
-from repro.errors import PlanError
 from repro.hardware.token import SecureToken
 from repro.index.bloom import BloomFilter
 from repro.index.climbing import Predicate as IndexPredicate
@@ -101,11 +100,20 @@ def op_vis(ctx: ExecContext, table: str,
 
 def op_ci(ctx: ExecContext, selection: BoundSelection,
           target: str) -> List[IdRun]:
-    """Climbing-index lookup of a hidden selection, targeting ``target``."""
+    """Climbing-index lookup of a hidden selection, targeting ``target``.
+
+    Covers rows appended since the build through the index's delta log
+    and the catalog's fk deltas; extra ids ride along as one sorted
+    RAM-resident run.
+    """
     index = ctx.catalog.attr_index(selection.table, selection.column.name)
     with ctx.label(CI_LABEL):
-        views = index.lookup(selection.predicate, target, ctx.ram)
-    return [IdRun.flash(v) for v in views]
+        views, extra = index.lookup_all(selection.predicate, target,
+                                        ctx.ram, ctx.catalog.fk_deltas)
+    runs = [IdRun.flash(v) for v in views]
+    if extra:
+        runs.append(IdRun.memory(extra))
+    return runs
 
 
 def op_ci_ids(ctx: ExecContext, table: str, ids: Sequence[int],
@@ -116,10 +124,14 @@ def op_ci_ids(ctx: ExecContext, table: str, ids: Sequence[int],
     """
     index = ctx.catalog.id_index(table)
     with ctx.label(CI_LABEL):
-        views = index.lookup(
-            IndexPredicate("in", values=list(ids)), target, ctx.ram
+        views, extra = index.lookup_all(
+            IndexPredicate("in", values=list(ids)), target, ctx.ram,
+            ctx.catalog.fk_deltas,
         )
-    return [IdRun.flash(v) for v in views]
+    runs = [IdRun.flash(v) for v in views]
+    if extra:
+        runs.append(IdRun.memory(extra))
+    return runs
 
 
 # ---------------------------------------------------------------------------

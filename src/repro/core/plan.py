@@ -23,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set
 
 from repro.sql.binder import BoundQuery
 from repro.storage.runs import U32View

@@ -20,19 +20,16 @@ accesses per QEPSJ result row).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.operators import (
     PROJECT_LABEL,
-    SJOIN_LABEL,
-    STORE_LABEL,
     ExecContext,
     op_sjoin,
     op_store_columns,
     op_vis,
 )
 from repro.core.plan import ProjectionMode, QepSjResult
-from repro.errors import PlanError
 from repro.index.bloom import BloomFilter
 from repro.sql.binder import BoundColumn
 from repro.storage.codec import IntType, RowCodec

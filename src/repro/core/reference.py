@@ -8,7 +8,7 @@ truth every GhostDB strategy must match bit-for-bit.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.aggregate import apply_aggregates, effective_projections
 from repro.errors import PlanError
@@ -17,11 +17,18 @@ from repro.sql.binder import BoundColumn, BoundQuery
 
 
 class ReferenceEngine:
-    """Ground-truth evaluator over the loader's raw rows."""
+    """Ground-truth evaluator over the loader's raw rows.
 
-    def __init__(self, schema: Schema, rows: Dict[str, List[Tuple]]):
+    ``rows`` and ``tombstones`` are shared (mutable) with the catalog,
+    so the oracle tracks incremental INSERTs and DELETEs for free:
+    appended rows show up, tombstoned ids are skipped.
+    """
+
+    def __init__(self, schema: Schema, rows: Dict[str, List[Tuple]],
+                 tombstones: Optional[Dict[str, Set[int]]] = None):
         self.schema = schema
         self.rows = rows
+        self.tombstones = tombstones or {}
 
     # ------------------------------------------------------------------
     def _descend_id(self, table: str, rid: int, target: str) -> int:
@@ -77,8 +84,12 @@ class ReferenceEngine:
         anchor = bound.anchor
         projections = (effective_projections(bound) if bound.is_aggregate
                        else bound.projections)
+        dead = self.tombstones.get(anchor, ())
         out: List[Tuple] = []
         for rid in range(len(self.rows[anchor])):
+            if rid in dead:
+                # deletes RESTRICT, so skipping dead anchors suffices
+                continue
             ids = {t: self._descend_id(anchor, rid, t)
                    for t in bound.tables}
             ok = True

@@ -63,18 +63,31 @@ def plan_key(sql: str, vis_strategy: StrategyLike, cross: Optional[bool],
     )
 
 
+#: per-table data generations a cached plan was computed against
+GenSnapshot = Tuple[Tuple[str, int], ...]
+
+
 class PlanCache:
-    """A bounded LRU cache of query plans with hit/miss accounting."""
+    """A bounded LRU cache of query plans with hit/miss accounting.
+
+    Entries carry the per-table *data generations* they were planned
+    against.  A lookup that passes the current generations drops (and
+    counts as a miss) any entry whose tables have since been mutated
+    by DML -- so an INSERT into ``Patients`` invalidates only plans
+    touching ``Patients``, never a cached ``Doctors``-only plan.
+    """
 
     def __init__(self, capacity: int = 64):
         if capacity <= 0:
             raise ValueError("plan cache capacity must be positive")
         self.capacity = capacity
-        self._plans: "OrderedDict[PlanKey, QueryPlan]" = OrderedDict()
+        self._plans: "OrderedDict[PlanKey, Tuple[QueryPlan, GenSnapshot]]" \
+            = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.stale_drops = 0
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -82,17 +95,29 @@ class PlanCache:
     def __contains__(self, key: PlanKey) -> bool:
         return key in self._plans
 
-    def get(self, key: PlanKey) -> Optional[QueryPlan]:
-        plan = self._plans.get(key)
-        if plan is None:
+    def get(self, key: PlanKey,
+            current_gens: Optional[Dict[str, int]] = None
+            ) -> Optional[QueryPlan]:
+        entry = self._plans.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        plan, gens = entry
+        if current_gens is not None and any(
+                current_gens.get(table, gen) != gen
+                for table, gen in gens):
+            # a table this plan touches was mutated since planning
+            del self._plans[key]
+            self.stale_drops += 1
             self.misses += 1
             return None
         self._plans.move_to_end(key)
         self.hits += 1
         return plan
 
-    def put(self, key: PlanKey, plan: QueryPlan) -> None:
-        self._plans[key] = plan
+    def put(self, key: PlanKey, plan: QueryPlan,
+            gens: GenSnapshot = ()) -> None:
+        self._plans[key] = (plan, gens)
         self._plans.move_to_end(key)
         while len(self._plans) > self.capacity:
             self._plans.popitem(last=False)
@@ -115,7 +140,8 @@ class PreparedStatement:
     def __init__(self, session: "Session", sql: str,
                  vis_strategy: StrategyLike = None,
                  cross: Optional[bool] = None,
-                 projection: Union[str, ProjectionMode] = "project"):
+                 projection: Union[str, ProjectionMode] = "project",
+                 parsed=None):
         self.session = session
         self.sql = sql
         self._vis_strategy = vis_strategy
@@ -124,7 +150,7 @@ class PreparedStatement:
         self._key = plan_key(sql, vis_strategy, cross, projection)
         db = session.db
         db._require_built()
-        self.template: BoundQuery = db._bind(sql)
+        self.template: BoundQuery = db._bind(sql, parsed)
         self.executions = 0
 
     @property
@@ -134,13 +160,15 @@ class PreparedStatement:
     # ------------------------------------------------------------------
     def _plan_for(self, bound: BoundQuery) -> QueryPlan:
         """The template plan, from the session cache or planned fresh."""
+        db = self.session.db
         cache = self.session.plan_cache
-        plan = cache.get(self._key)
+        plan = cache.get(self._key, db.table_generations)
         if plan is None:
-            plan = self.session.db._planner.plan(
+            plan = db._planner.plan(
                 bound, self._vis_strategy, self._cross, self._projection
             )
-            cache.put(self._key, plan)
+            cache.put(self._key, plan,
+                      db.catalog.generations_for(bound.tables))
         return plan
 
     def execute(self, params: Sequence = ()) -> QueryResult:
@@ -197,6 +225,10 @@ class Session:
         db._require_built()
         self.db = db
         self.plan_cache = PlanCache(plan_cache_capacity)
+        # bound templates are schema-derived (data-independent), so
+        # this cache survives DML and rebuilds
+        self._statements: "OrderedDict[PlanKey, PreparedStatement]" = \
+            OrderedDict()
         db._sessions.add(self)
 
     # ------------------------------------------------------------------
@@ -204,20 +236,34 @@ class Session:
                 vis_strategy: StrategyLike = None,
                 cross: Optional[bool] = None,
                 projection: Union[str, ProjectionMode] = "project",
-                ) -> PreparedStatement:
+                parsed=None) -> PreparedStatement:
         """Bind ``sql`` (which may contain ``?`` placeholders) once."""
-        return PreparedStatement(self, sql, vis_strategy, cross, projection)
+        return PreparedStatement(self, sql, vis_strategy, cross,
+                                 projection, parsed)
 
     def query(self, sql: str, params: Optional[Sequence] = None,
               vis_strategy: StrategyLike = None,
               cross: Optional[bool] = None,
               projection: Union[str, ProjectionMode] = "project",
-              ) -> QueryResult:
-        """Like ``GhostDB.query`` but through the plan cache."""
+              parsed=None) -> QueryResult:
+        """Like legacy ``GhostDB.query`` but through the plan cache.
+
+        ``parsed`` lets callers that already parsed the statement
+        (``GhostDB.execute``) skip the re-parse; parameterized calls
+        reuse a cached bound template, so a hot loop re-binds nothing.
+        """
         if params is not None:
-            stmt = self.prepare(sql, vis_strategy, cross, projection)
+            key = plan_key(sql, vis_strategy, cross, projection)
+            stmt = self._statements.get(key)
+            if stmt is None:
+                stmt = self.prepare(sql, vis_strategy, cross, projection,
+                                    parsed)
+                self._statements[key] = stmt
+                while len(self._statements) > self.plan_cache.capacity:
+                    self._statements.popitem(last=False)
             return stmt.execute(params)
-        plan = self._plan_cached(sql, vis_strategy, cross, projection)
+        plan = self._plan_cached(sql, vis_strategy, cross, projection,
+                                 parsed)
         return self.db.execute_plan(plan)
 
     def query_many(self,
@@ -263,11 +309,12 @@ class Session:
     # ------------------------------------------------------------------
     def _plan_cached(self, sql: str, vis_strategy: StrategyLike,
                      cross: Optional[bool],
-                     projection: Union[str, ProjectionMode]) -> QueryPlan:
+                     projection: Union[str, ProjectionMode],
+                     parsed=None) -> QueryPlan:
         key = plan_key(sql, vis_strategy, cross, projection)
-        plan = self.plan_cache.get(key)
+        plan = self.plan_cache.get(key, self.db.table_generations)
         if plan is None:
-            bound = self.db._bind(sql)
+            bound = self.db._bind(sql, parsed)
             if bound.has_parameters:
                 raise BindError(
                     "statement has ? placeholders: use prepare() or "
@@ -275,7 +322,9 @@ class Session:
                 )
             plan = self.db._planner.plan(bound, vis_strategy, cross,
                                          projection)
-            self.plan_cache.put(key, plan)
+            self.plan_cache.put(key, plan,
+                                self.db.catalog.generations_for(
+                                    bound.tables))
         return plan
 
     # ------------------------------------------------------------------

@@ -23,7 +23,7 @@ from typing import Dict, Optional
 from repro.errors import BadAddressError, OutOfSpaceError
 from repro.flash.constants import FlashParams
 from repro.flash.nand import NandFlash
-from repro.flash.stats import COMM, ERASE, READ, WRITE, CostLedger
+from repro.flash.stats import ERASE, READ, WRITE, CostLedger
 
 _UNMAPPED = -1
 

@@ -47,8 +47,12 @@ class ChannelStats:
 class UsbChannel:
     """Byte-accounted, leak-audited duplex link."""
 
-    #: outbound message kinds that are derived from the public query only
-    SAFE_OUTBOUND_KINDS = frozenset({"query", "vis_request", "result_release"})
+    #: outbound message kinds carrying public information only: query
+    #: texts, Vis requests derived from them, released results, and the
+    #: visible halves of inserted rows (Visible data is public storage
+    #: on Untrusted by definition)
+    SAFE_OUTBOUND_KINDS = frozenset({"query", "vis_request",
+                                     "result_release", "dml_visible"})
 
     def __init__(self, ledger: CostLedger, throughput_mbps: float = 1.5):
         if throughput_mbps <= 0:

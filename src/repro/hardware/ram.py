@@ -14,7 +14,7 @@ the default budget is 32 such buffers.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.errors import RamExhausted
 from repro.flash.constants import PAGE_SIZE, RAM_SIZE

@@ -45,7 +45,7 @@ def false_positive_rate(bits_per_item: float, n_hashes: int) -> float:
 class BloomFilter:
     """A RAM-accounted Bloom filter over integer IDs."""
 
-    def __init__(self, ram: SecureRam, n_items: int,
+    def __init__(self, ram: Optional[SecureRam], n_items: int,
                  bits_per_item: int = DEFAULT_BITS_PER_ITEM,
                  n_hashes: int = DEFAULT_HASHES,
                  max_bytes: Optional[int] = None,
@@ -55,6 +55,12 @@ class BloomFilter:
         When the ideal ``bits_per_item * n_items`` vector exceeds
         ``max_bytes`` (or free RAM), the ratio m/n degrades smoothly
         rather than failing -- exactly the paper's fallback.
+
+        ``ram=None`` builds an *unaccounted* filter: used for tiny
+        persistent summaries owned by flash-resident structures (a
+        climbing index's delta-key filter), whose bytes are part of
+        that structure's storage budget rather than a query's working
+        RAM.  Such filters are long-lived and grown by appending.
         """
         self.n_hashes = n_hashes
         self.n_items = max(1, n_items)
@@ -62,11 +68,14 @@ class BloomFilter:
         budget = ideal_bytes
         if max_bytes is not None:
             budget = min(budget, max_bytes)
-        budget = min(budget, ram.free_bytes)
+        if ram is not None:
+            budget = min(budget, ram.free_bytes)
         if budget <= 0:
             raise RamExhausted("no RAM available for a Bloom filter")
         self.m_bits = budget * 8
-        self._alloc: Allocation = ram.alloc(budget, label)
+        self._alloc: Optional[Allocation] = (
+            ram.alloc(budget, label) if ram is not None else None
+        )
         self._bits = bytearray(budget)
         self.count_added = 0
 
@@ -108,8 +117,9 @@ class BloomFilter:
         )
 
     def free(self) -> None:
-        """Release the bit vector's RAM."""
-        self._alloc.free()
+        """Release the bit vector's RAM (no-op for unaccounted filters)."""
+        if self._alloc is not None:
+            self._alloc.free()
 
     def __enter__(self) -> "BloomFilter":
         return self

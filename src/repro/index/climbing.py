@@ -12,24 +12,43 @@ level's packed ID-run file.  Runs are written in value order, so a
 range predicate touches contiguous run pages.  Root-table indexes have
 a single level and degenerate to ordinary B+-trees, exactly as the
 paper notes.
+
+Incremental maintenance is **append-only**, as NAND demands: inserts
+never restructure the bulk-built tree or its run files.  Each index
+carries a flash-resident *delta log* of ``(key, id)`` entries appended
+since the build, summarized by a small Bloom filter that lets
+equality lookups skip the log when the key was never appended.
+Ancestor sublists are not materialized for delta entries; instead the
+catalog records, per table, which *new* parent rows reference each
+child id (the fk delta), and :meth:`lookup_all` climbs matching ids
+through those edges at query time.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import IndexError_
 from repro.flash.constants import ID_SIZE
 from repro.flash.store import FlashStore
 from repro.hardware.ram import SecureRam
+from repro.index.bloom import BloomFilter
 from repro.index.btree import BPlusTree
 from repro.index.keys import KeyCodec
 from repro.storage.codec import ColumnType
+from repro.storage.heap import append_fixed_record
 from repro.storage.runs import U32FileBuilder, U32View
 
 _DESC_W = 8  # (start u32, count u32) per level
+
+#: delta-key Bloom sizing: small, persistent, grown by rebuild-on-overflow
+_DELTA_BLOOM_ITEMS = 256
+
+#: ``fk_deltas[child_table][child_id]`` = new parent ids appended since
+#: the build (maintained by the catalog, consumed by lookups)
+FkDeltas = Dict[str, Dict[int, List[int]]]
 
 
 class Predicate:
@@ -57,13 +76,19 @@ class ClimbingIndex:
     """Value -> per-level sorted ID sublists, on flash."""
 
     def __init__(self, name: str, levels: Sequence[str], key_codec: KeyCodec,
-                 btree: BPlusTree, run_files: Dict[str, "U32FileBuilder"]):
+                 btree: BPlusTree, run_files: Dict[str, "U32FileBuilder"],
+                 store: Optional[FlashStore] = None):
         self.name = name
         self.levels = list(levels)        # levels[0] is the indexed table
         self.key_codec = key_codec
         self.btree = btree
         self._runs = run_files            # finished builders, per level
         self.n_entries = btree.n_entries
+        # append-only delta: (encoded key, own id) entries since build
+        self._store = store if store is not None else btree.file._store
+        self._delta: List[Tuple[bytes, int]] = []
+        self._delta_file = None           # created on first append
+        self._delta_bloom: Optional[BloomFilter] = None
 
     # ------------------------------------------------------------------
     # build
@@ -126,7 +151,7 @@ class ClimbingIndex:
             payload_width=_DESC_W * len(levels),
             page_size=page_size, ram=ram,
         )
-        return cls(name, levels, key_codec, btree, builders)
+        return cls(name, levels, key_codec, btree, builders, store)
 
     # ------------------------------------------------------------------
     # lookups
@@ -152,27 +177,189 @@ class ClimbingIndex:
 
         Returns one sorted sublist per matching index entry; equality
         predicates yield at most one, range predicates arbitrarily many
-        (the Merge operator unions them).
+        (the Merge operator unions them).  Covers only the bulk-built
+        entries -- :meth:`lookup_all` adds appended rows.
         """
         pos = self._level_pos(level)
-        enc = self.key_codec.encode
-        out: List[U32View] = []
+        return [self._view(p, pos, level)
+                for p in self._matching_payloads(predicate, ram)]
 
+    # ------------------------------------------------------------------
+    # append-only maintenance
+    # ------------------------------------------------------------------
+    @property
+    def _entry_width(self) -> int:
+        return self.key_codec.width + ID_SIZE
+
+    @property
+    def delta_entries(self) -> int:
+        """Entries appended since the bulk build."""
+        return len(self._delta)
+
+    def append(self, value, own_id: int) -> None:
+        """Record one newly inserted ``(value, levels[0]-id)`` pair.
+
+        The entry goes to the tail of the flash delta log (one page
+        touched) and into the delta-key Bloom filter; the bulk-built
+        tree and run files are never rewritten.  Ancestor ids are not
+        stored: parents of a new row are by definition inserted later,
+        and :meth:`lookup_all` finds them through the catalog's fk
+        deltas.
+        """
+        key = self.key_codec.encode(value)
+        entry = key + int(own_id).to_bytes(ID_SIZE, "little")
+        if self._delta_file is None:
+            self._delta_file = self._store.create(f"ci_{self.name}_delta")
+        append_fixed_record(self._delta_file, entry, len(self._delta),
+                            self._store.ftl.params.page_size)
+        self._delta.append((key, own_id))
+        self._bloom_add(key)
+
+    def _bloom_add(self, key: bytes) -> None:
+        """Track delta keys; rebuild a doubled filter on overflow."""
+        bloom = self._delta_bloom
+        if bloom is None or bloom.count_added >= bloom.n_items:
+            size = _DELTA_BLOOM_ITEMS
+            while size <= len(self._delta):
+                size *= 2
+            bloom = BloomFilter(None, size, label=f"ci {self.name} delta")
+            for k, _ in self._delta:
+                bloom.add(int.from_bytes(k, "big"))
+            self._delta_bloom = bloom
+            return
+        bloom.add(int.from_bytes(key, "big"))
+
+    def _bloom_may_contain(self, key: bytes) -> bool:
+        if self._delta_bloom is None:
+            return False
+        return int.from_bytes(key, "big") in self._delta_bloom
+
+    def _key_matches(self, key: bytes, predicate: Predicate) -> bool:
+        """Evaluate ``predicate`` on an encoded key (order-preserving)."""
+        enc = self.key_codec.encode
+        op = predicate.op
+        if op == "=":
+            return key == enc(predicate.value)
+        if op == "<":
+            return key < enc(predicate.value)
+        if op == "<=":
+            return key <= enc(predicate.value)
+        if op == ">":
+            return key > enc(predicate.value)
+        if op == ">=":
+            return key >= enc(predicate.value)
+        if op == "between":
+            return enc(predicate.value) <= key <= enc(predicate.value2)
+        if op == "in":
+            return any(key == enc(v) for v in predicate.values or ())
+        raise IndexError_(f"unsupported predicate operator {op!r}")
+
+    def _delta_matches(self, predicate: Predicate) -> List[int]:
+        """Own-table ids of delta entries satisfying ``predicate``.
+
+        Equality and IN predicates consult the delta-key Bloom filter
+        first, skipping the log scan entirely when no sought key was
+        ever appended; otherwise the whole log is scanned (it is small
+        between compacting rebuilds), charging its pages.
+        """
+        if not self._delta:
+            return []
+        enc = self.key_codec.encode
+        if predicate.op == "=":
+            if not self._bloom_may_contain(enc(predicate.value)):
+                return []
+        elif predicate.op == "in":
+            sought = [enc(v) for v in predicate.values or ()]
+            if not any(self._bloom_may_contain(k) for k in sought):
+                return []
+        for page in range(self._delta_file.n_pages):
+            self._delta_file.read_page(page)
+        return [own_id for key, own_id in self._delta
+                if self._key_matches(key, predicate)]
+
+    def lookup_all(self, predicate: Predicate, level: str,
+                   ram: Optional[SecureRam] = None,
+                   fk_deltas: Optional[FkDeltas] = None
+                   ) -> Tuple[List[U32View], List[int]]:
+        """Like :meth:`lookup`, plus ids contributed since the build.
+
+        Returns ``(base sublists, extra ids)``: the bulk-built runs for
+        ``level`` and a sorted list of ``level`` ids reachable only
+        through appended rows.  Extra ids come from (a) delta entries
+        matching the predicate, climbed upward, and (b) *new* parent
+        rows referencing old matching rows, found by climbing the base
+        ids through ``fk_deltas`` edge by edge.  With no DML since the
+        build this degenerates to :meth:`lookup` at zero extra cost.
+        """
+        pos = self._level_pos(level)
+        payloads: List[bytes] = self._matching_payloads(predicate, ram)
+        views = [self._view(p, pos, level) for p in payloads]
+        delta_ids = self._delta_matches(predicate)
+        if pos == 0:
+            return views, sorted(set(delta_ids))
+        fk_deltas = fk_deltas or {}
+        if not any(fk_deltas.get(self.levels[i]) for i in range(pos)):
+            # no new edges below the target level: appended rows cannot
+            # have reached it (their parents do not exist yet)
+            return views, []
+        new_ids: Set[int] = set(delta_ids)
+        for i in range(pos):
+            edge = fk_deltas.get(self.levels[i]) or {}
+            if not edge:
+                new_ids = set()
+                continue
+            level_views = [self._view(p, i, self.levels[i])
+                           for p in payloads]
+            new_ids = self._climb_edge(edge, new_ids, level_views, ram)
+        return views, sorted(new_ids)
+
+    @staticmethod
+    def _climb_edge(edge: Dict[int, List[int]], new_ids: Set[int],
+                    level_views: List[U32View],
+                    ram: Optional[SecureRam]) -> Set[int]:
+        """New parent ids whose (old or new) child matches the lookup.
+
+        A child matches when it is among the already-climbed new ids
+        or inside one of the base sublists at this level.  Few edges
+        exist between compacting rebuilds, so each candidate is
+        binary-searched in the sorted sublists; when the edge grows
+        larger than that probing cost, one sequential scan wins.
+        """
+        candidates = [c for c in edge if c not in new_ids]
+        out: Set[int] = {p for c in edge if c in new_ids
+                         for p in edge[c]}
+        if not candidates:
+            return out
+        total_ids = sum(v.count for v in level_views)
+        probe_reads = len(candidates) * sum(
+            v.count.bit_length() for v in level_views
+        )
+        if probe_reads <= total_ids:
+            for child in candidates:
+                if any(v.contains(child) for v in level_views):
+                    out.update(edge[child])
+            return out
+        base: Set[int] = set()
+        for view in level_views:
+            base.update(view.iterate(ram))
+        for child in candidates:
+            if child in base:
+                out.update(edge[child])
+        return out
+
+    def _matching_payloads(self, predicate: Predicate,
+                           ram: Optional[SecureRam] = None) -> List[bytes]:
+        """Leaf payloads of base entries matching ``predicate``."""
+        enc = self.key_codec.encode
         if predicate.op == "=":
             payload = self.btree.lookup(enc(predicate.value), ram)
-            if payload is not None:
-                out.append(self._view(payload, pos, level))
-            return out
-
+            return [payload] if payload is not None else []
         if predicate.op == "in":
             if predicate.values is None:
                 raise IndexError_("'in' predicate without values")
             keys = sorted(enc(v) for v in predicate.values)
-            for _, payload in self.btree.lookup_many(keys, ram):
-                if payload is not None:
-                    out.append(self._view(payload, pos, level))
-            return out
-
+            return [p for _, p in self.btree.lookup_many(keys, ram)
+                    if p is not None]
         lo = hi = None
         lo_inc = hi_inc = True
         if predicate.op == "<":
@@ -185,19 +372,23 @@ class ClimbingIndex:
             lo = enc(predicate.value)
         elif predicate.op == "between":
             lo, hi = enc(predicate.value), enc(predicate.value2)
-        for _, payload in self.btree.range(lo, hi, lo_inc, hi_inc, ram):
-            out.append(self._view(payload, pos, level))
-        return out
+        return [p for _, p in self.btree.range(lo, hi, lo_inc, hi_inc,
+                                               ram)]
 
     # ------------------------------------------------------------------
     def storage_bytes(self) -> int:
-        """Flash bytes occupied by the tree and all run files."""
+        """Flash bytes occupied by the tree, run files and delta log."""
         total = self.btree.file.n_bytes
         for builder in self._runs.values():
             total += builder.file.n_bytes
+        if self._delta_file is not None:
+            total += self._delta_file.n_bytes
         return total
 
     def free(self) -> None:
         self.btree.free()
         for builder in self._runs.values():
             builder.file.free()
+        if self._delta_file is not None:
+            self._delta_file.free()
+            self._delta_file = None

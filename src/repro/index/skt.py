@@ -69,5 +69,19 @@ class SubtreeKeyTable:
         """Random access to one row of descendant ids."""
         return self.heap.get_row(owner_id)
 
+    def append_row(self, descendant_ids: Sequence[int]) -> int:
+        """Append the descendant ids of a newly inserted owner tuple.
+
+        SKT rows are stored in ``owner.id`` order and ids are dense,
+        so an insert is a pure tail append -- O(one page), never a
+        rebuild.  Returns the owner id the row now describes.
+        """
+        if len(descendant_ids) != len(self.columns):
+            raise IndexError_(
+                f"SKT({self.owner}) rows carry {len(self.columns)} "
+                f"descendant ids, got {len(descendant_ids)}"
+            )
+        return self.heap.append_row(tuple(descendant_ids))
+
     def free(self) -> None:
         self.heap.free()

@@ -172,7 +172,6 @@ def rewrite_ddl(ddl_statements: Sequence[str],
     without ``HIDDEN`` here (the advisor adds it, since GhostDB requires
     hidden fks).
     """
-    from repro.schema.ddl import table_from_sql
     from repro.sql import ast
     from repro.sql.parser import parse
 

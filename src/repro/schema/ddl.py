@@ -18,7 +18,7 @@ e.g.::
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.errors import SchemaError
 from repro.schema.model import Column, Schema, Table

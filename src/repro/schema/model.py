@@ -18,7 +18,7 @@ are Hidden, so all joins happen on Secure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import SchemaError

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 Value = Union[int, float, str]
 
@@ -90,6 +90,28 @@ class SelectQuery:
     tables: Sequence[str]
     predicates: Sequence[Predicate] = field(default_factory=tuple)
     group_by: Sequence[ColumnRef] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    """``INSERT INTO t [(col, ...)] VALUES (...), (...)``.
+
+    ``columns`` is ``None`` when the column list is omitted (values are
+    then given in declaration order of the non-id columns).  Values may
+    be :class:`Parameter` placeholders, filled at execution time.
+    """
+
+    table: str
+    columns: Optional[Sequence[str]]
+    rows: Sequence[Sequence[Union[Value, Parameter]]]
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    """``DELETE FROM t [WHERE pred AND ...]`` (single-table)."""
+
+    table: str
+    predicates: Sequence[Predicate] = field(default_factory=tuple)
 
 
 @dataclass(frozen=True)

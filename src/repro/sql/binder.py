@@ -1,22 +1,29 @@
-"""Semantic analysis: bind a parsed query to the schema.
+"""Semantic analysis: bind a parsed statement to the schema.
 
-The binder resolves column references, validates that the queried
-tables form a connected subtree joined along foreign-key edges, picks
-the *anchor* table (the topmost queried table -- the root of the
-queried subtree, whose IDs the QEPSJ produces), and classifies each
-selection predicate as Visible (computable by Untrusted) or Hidden
-(climbing-index lookup on Secure).
+For SELECT, the binder resolves column references, validates that the
+queried tables form a connected subtree joined along foreign-key
+edges, picks the *anchor* table (the topmost queried table -- the root
+of the queried subtree, whose IDs the QEPSJ produces), and classifies
+each selection predicate as Visible (computable by Untrusted) or
+Hidden (climbing-index lookup on Secure).
+
+For DML, it normalizes INSERT rows into declaration order and splits
+them along the trust boundary (visible half / hidden half / foreign
+keys), and binds DELETE predicates exactly like SELECT selections.
+An INSERT's hidden values are *data*, not query text: the binder
+precomputes a redacted ``public_text`` (hidden slots masked) that is
+the only form of the statement allowed to leave the token.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import BindError
 from repro.index.climbing import Predicate as IndexPredicate
-from repro.schema.model import Column, Schema, Table
+from repro.schema.model import Column, Schema
 from repro.sql import ast
 from repro.sql.parser import parse
 
@@ -86,27 +93,11 @@ class BoundQuery:
             )
         if self.param_count == 0:
             return self
-
-        def fill(value):
-            if isinstance(value, ast.Parameter):
-                return params[value.index]
-            return value
-
-        selections = tuple(
-            BoundSelection(
-                s.table, s.column,
-                IndexPredicate(
-                    s.predicate.op,
-                    fill(s.predicate.value),
-                    fill(s.predicate.value2),
-                    ([fill(v) for v in s.predicate.values]
-                     if s.predicate.values is not None else None),
-                ),
-            )
-            for s in self.selections
+        return dataclasses.replace(
+            self,
+            selections=_substitute_selections(self.selections, params),
+            param_count=0,
         )
-        return dataclasses.replace(self, selections=selections,
-                                   param_count=0)
 
     def visible_selections(self, table: Optional[str] = None
                            ) -> List[BoundSelection]:
@@ -124,6 +115,105 @@ class BoundQuery:
             if p.table not in seen:
                 seen.append(p.table)
         return seen
+
+
+def _render_value(value) -> str:
+    """Literal as it would appear in statement text."""
+    if isinstance(value, ast.Parameter):
+        return "?"
+    if isinstance(value, str):
+        return f"'{value}'"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class BoundInsert:
+    """One INSERT, normalized to declaration order and split along the
+    trust boundary.
+
+    ``rows`` holds full data-column tuples (possibly containing
+    :class:`ast.Parameter` placeholders); ``public_text`` is the
+    statement with every hidden value masked -- the only rendition of
+    the insert that may cross the channel.
+    """
+
+    sql: str
+    table: str
+    rows: Tuple[Tuple, ...]          # data_columns order
+    public_text: str
+    param_count: int = 0
+
+    @property
+    def has_parameters(self) -> bool:
+        return self.param_count > 0
+
+    def substitute(self, params: Sequence) -> "BoundInsert":
+        """Fill every ``?`` placeholder with the matching value."""
+        if len(params) != self.param_count:
+            raise BindError(
+                f"statement takes {self.param_count} parameter(s), "
+                f"got {len(params)}"
+            )
+        if self.param_count == 0:
+            return self
+        rows = tuple(
+            tuple(params[v.index] if isinstance(v, ast.Parameter) else v
+                  for v in row)
+            for row in self.rows
+        )
+        return dataclasses.replace(self, rows=rows, param_count=0)
+
+
+@dataclass(frozen=True)
+class BoundDelete:
+    """One DELETE: a single table plus classified selections."""
+
+    sql: str
+    table: str
+    selections: Tuple[BoundSelection, ...]
+    param_count: int = 0
+
+    @property
+    def has_parameters(self) -> bool:
+        return self.param_count > 0
+
+    def substitute(self, params: Sequence) -> "BoundDelete":
+        """Fill every ``?`` placeholder with the matching value."""
+        if len(params) != self.param_count:
+            raise BindError(
+                f"statement takes {self.param_count} parameter(s), "
+                f"got {len(params)}"
+            )
+        if self.param_count == 0:
+            return self
+        return dataclasses.replace(
+            self,
+            selections=_substitute_selections(self.selections, params),
+            param_count=0,
+        )
+
+
+def _substitute_selections(selections: Sequence[BoundSelection],
+                           params: Sequence
+                           ) -> Tuple[BoundSelection, ...]:
+    def fill(value):
+        if isinstance(value, ast.Parameter):
+            return params[value.index]
+        return value
+
+    return tuple(
+        BoundSelection(
+            s.table, s.column,
+            IndexPredicate(
+                s.predicate.op,
+                fill(s.predicate.value),
+                fill(s.predicate.value2),
+                ([fill(v) for v in s.predicate.values]
+                 if s.predicate.values is not None else None),
+            ),
+        )
+        for s in selections
+    )
 
 
 def _count_parameters(selections: Sequence[BoundSelection]) -> int:
@@ -149,6 +239,87 @@ class Binder:
         if not isinstance(parsed, ast.SelectQuery):
             raise BindError("expected a SELECT statement")
         return self.bind(parsed, sql)
+
+    # ------------------------------------------------------------------
+    def bind_insert(self, stmt: ast.InsertStatement,
+                    sql: str = "") -> BoundInsert:
+        if stmt.table not in self.schema.tables:
+            raise BindError(f"unknown table {stmt.table!r}")
+        table = self.schema.table(stmt.table)
+        data_cols = table.data_columns
+        if stmt.columns is None:
+            order = list(range(len(data_cols)))
+            names = [c.name for c in data_cols]
+        else:
+            names = list(stmt.columns)
+            wanted = {c.name: i for i, c in enumerate(data_cols)}
+            if len(set(names)) != len(names):
+                raise BindError(f"duplicate column in INSERT: {names}")
+            for name in names:
+                if name == "id":
+                    raise BindError(
+                        "surrogate ids are assigned by GhostDB; do not "
+                        "insert them explicitly"
+                    )
+                if name not in wanted:
+                    raise BindError(
+                        f"table {stmt.table!r} has no column {name!r}"
+                    )
+            if len(names) != len(data_cols):
+                missing = [c.name for c in data_cols if c.name not in names]
+                raise BindError(
+                    f"INSERT INTO {stmt.table} must provide every data "
+                    f"column; missing {missing}"
+                )
+            # position in the statement row for each declaration slot
+            by_name = {n: i for i, n in enumerate(names)}
+            order = [by_name[c.name] for c in data_cols]
+        rows: List[Tuple] = []
+        n_params = 0
+        for row in stmt.rows:
+            if len(row) != len(data_cols):
+                raise BindError(
+                    f"INSERT INTO {stmt.table}: expected {len(data_cols)} "
+                    f"values, got {len(row)}"
+                )
+            normalized = tuple(row[i] for i in order)
+            for value in normalized:
+                if isinstance(value, ast.Parameter):
+                    n_params = max(n_params, value.index + 1)
+            rows.append(normalized)
+        public_text = self._render_public_insert(stmt.table, data_cols,
+                                                 rows)
+        return BoundInsert(sql=sql, table=stmt.table, rows=tuple(rows),
+                           public_text=public_text, param_count=n_params)
+
+    @staticmethod
+    def _render_public_insert(table: str, data_cols, rows) -> str:
+        """The insert's statement text with hidden values masked.
+
+        Visible values are headed to Untrusted storage anyway; hidden
+        values are data and must never appear in outbound text.
+        """
+        parts = []
+        for row in rows:
+            rendered = [
+                "?" if col.hidden else _render_value(value)
+                for value, col in zip(row, data_cols)
+            ]
+            parts.append(f"({', '.join(rendered)})")
+        cols = ", ".join(c.name for c in data_cols)
+        return f"INSERT INTO {table} ({cols}) VALUES {', '.join(parts)}"
+
+    def bind_delete(self, stmt: ast.DeleteStatement,
+                    sql: str = "") -> BoundDelete:
+        if stmt.table not in self.schema.tables:
+            raise BindError(f"unknown table {stmt.table!r}")
+        if any(isinstance(p, ast.JoinPredicate) for p in stmt.predicates):
+            raise BindError("DELETE supports single-table predicates only")
+        selections = tuple(
+            self._bind_selection(p, [stmt.table]) for p in stmt.predicates
+        )
+        return BoundDelete(sql=sql, table=stmt.table, selections=selections,
+                           param_count=_count_parameters(selections))
 
     def bind(self, query: ast.SelectQuery, sql: str = "") -> BoundQuery:
         tables = self._check_tables(query.tables)

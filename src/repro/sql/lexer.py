@@ -1,15 +1,16 @@
 """Tokenizer for GhostDB's SQL dialect.
 
 Supports the paper's surface: ``CREATE TABLE`` with the ``HIDDEN``
-annotation and ``REFERENCES`` clauses, and Select-Project-Join queries
+annotation and ``REFERENCES`` clauses, Select-Project-Join queries
 with conjunctive predicates (comparisons, ``BETWEEN``, ``IN``) plus the
-aggregate extension.
+aggregate extension, and the incremental DML statements ``INSERT INTO``
+and ``DELETE FROM``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 from repro.errors import SqlSyntaxError
 
@@ -17,7 +18,8 @@ KEYWORDS = {
     "SELECT", "FROM", "WHERE", "AND", "CREATE", "TABLE", "HIDDEN",
     "REFERENCES", "BETWEEN", "IN", "GROUP", "BY", "AS", "INT", "INTEGER",
     "SMALLINT", "BIGINT", "FLOAT", "CHAR", "COUNT", "SUM", "MIN", "MAX",
-    "AVG", "NOT", "NULL", "PRIMARY", "KEY", "DISTINCT",
+    "AVG", "NOT", "NULL", "PRIMARY", "KEY", "DISTINCT", "INSERT", "INTO",
+    "VALUES", "DELETE",
 }
 
 #: token kinds

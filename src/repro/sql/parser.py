@@ -1,14 +1,18 @@
 """Recursive-descent parser for the GhostDB SQL dialect.
 
-Grammar (conjunctive SPJ queries plus DDL)::
+Grammar (conjunctive SPJ queries plus DDL and DML)::
 
-    statement   := create_table | select
+    statement   := create_table | select | insert | delete
     create_table:= CREATE TABLE ident '(' coldef (',' coldef)* ')'
     coldef      := ident type [HIDDEN] [REFERENCES ident]
     type        := INT | INTEGER | SMALLINT | BIGINT | FLOAT
                  | CHAR '(' number ')'
     select      := SELECT selitem (',' selitem)* FROM ident (',' ident)*
                    [WHERE pred (AND pred)*] [GROUP BY colref (',' colref)*]
+    insert      := INSERT INTO ident ['(' ident (',' ident)* ')']
+                   VALUES row (',' row)*
+    row         := '(' literal (',' literal)* ')'
+    delete      := DELETE FROM ident [WHERE pred (AND pred)*]
     selitem     := colref | '*' | ident '.' '*' | agg '(' (colref|'*') ')'
     pred        := colref ('='|'<'|'<='|'>'|'>=') (literal | colref)
                  | colref BETWEEN literal AND literal
@@ -27,7 +31,9 @@ from repro.sql.ast import (
     ColumnRef,
     Comparison,
     CreateTable,
+    DeleteStatement,
     InPredicate,
+    InsertStatement,
     JoinPredicate,
     Parameter,
     SelectQuery,
@@ -38,6 +44,9 @@ from repro.sql.lexer import EOF, IDENT, KW, NUMBER, OP, STRING, Token, tokenize
 
 _AGG_FUNCS = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
 _TYPES = {"INT", "INTEGER", "SMALLINT", "BIGINT", "FLOAT", "CHAR"}
+
+Statement = Union[CreateTable, SelectQuery, InsertStatement,
+                  DeleteStatement]
 
 
 class _Parser:
@@ -77,15 +86,19 @@ class _Parser:
     # ------------------------------------------------------------------
     # statements
     # ------------------------------------------------------------------
-    def parse_statement(self) -> Union[CreateTable, SelectQuery]:
+    def parse_statement(self) -> Statement:
         if self.cur.kind == KW and self.cur.value == "CREATE":
-            stmt = self.parse_create_table()
+            stmt: Statement = self.parse_create_table()
         elif self.cur.kind == KW and self.cur.value == "SELECT":
             stmt = self.parse_select()
+        elif self.cur.kind == KW and self.cur.value == "INSERT":
+            stmt = self.parse_insert()
+        elif self.cur.kind == KW and self.cur.value == "DELETE":
+            stmt = self.parse_delete()
         else:
             raise SqlSyntaxError(
-                f"statement must start with CREATE or SELECT, "
-                f"got {self.cur.value!r}"
+                f"statement must start with CREATE, SELECT, INSERT or "
+                f"DELETE, got {self.cur.value!r}"
             )
         self.accept(OP, ";")
         self.expect(EOF)
@@ -130,6 +143,44 @@ class _Parser:
             else:
                 break
         return ColumnDef(name, type_tok.value, char_size, hidden, references)
+
+    # ------------------------------------------------------------------
+    def parse_insert(self) -> InsertStatement:
+        self.expect(KW, "INSERT")
+        self.expect(KW, "INTO")
+        table = self.expect(IDENT).value
+        columns = None
+        if self.accept(OP, "("):
+            columns = [self.expect(IDENT).value]
+            while self.accept(OP, ","):
+                columns.append(self.expect(IDENT).value)
+            self.expect(OP, ")")
+        self.expect(KW, "VALUES")
+        rows = [self.parse_value_row()]
+        while self.accept(OP, ","):
+            rows.append(self.parse_value_row())
+        return InsertStatement(table,
+                               tuple(columns) if columns else None,
+                               tuple(rows))
+
+    def parse_value_row(self) -> tuple:
+        self.expect(OP, "(")
+        values = [self.parse_literal()]
+        while self.accept(OP, ","):
+            values.append(self.parse_literal())
+        self.expect(OP, ")")
+        return tuple(values)
+
+    def parse_delete(self) -> DeleteStatement:
+        self.expect(KW, "DELETE")
+        self.expect(KW, "FROM")
+        table = self.expect(IDENT).value
+        predicates: List = []
+        if self.accept(KW, "WHERE"):
+            predicates.append(self.parse_predicate())
+            while self.accept(KW, "AND"):
+                predicates.append(self.parse_predicate())
+        return DeleteStatement(table, tuple(predicates))
 
     # ------------------------------------------------------------------
     def parse_select(self) -> SelectQuery:
@@ -230,6 +281,6 @@ class _Parser:
         return Comparison(column, op_tok.value, self.parse_literal())
 
 
-def parse(text: str) -> Union[CreateTable, SelectQuery]:
+def parse(text: str) -> Statement:
     """Parse one SQL statement."""
     return _Parser(text).parse_statement()

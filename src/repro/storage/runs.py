@@ -21,7 +21,7 @@ from typing import Iterable, Iterator, List, Optional
 from repro.errors import StorageError
 from repro.flash.constants import ID_SIZE
 from repro.flash.store import FlashFile, FlashStore
-from repro.hardware.ram import Allocation, SecureRam
+from repro.hardware.ram import SecureRam
 
 
 class U32FileBuilder:
@@ -120,6 +120,35 @@ class U32View:
     def to_list(self, ram: Optional[SecureRam] = None) -> List[int]:
         """Materialize the whole view as a Python list (caller accounts RAM)."""
         return list(self.iterate(ram))
+
+    def _read_at(self, index: int) -> int:
+        """Point-read one id of the view (4 bytes moved, charged)."""
+        page_size = self.file._store.ftl.params.page_size
+        per_page = page_size // ID_SIZE
+        pos = self.start + index
+        page_idx = pos // per_page
+        offset = (pos - page_idx * per_page) * ID_SIZE
+        raw = self.file.read_page(page_idx, nbytes=ID_SIZE, offset=offset)
+        return int.from_bytes(raw, "little")
+
+    def contains(self, value: int) -> bool:
+        """Membership by binary search over the sorted view.
+
+        O(log n) point reads of 4 bytes each -- far cheaper than a
+        full scan when probing a few candidates (the fk-delta climb of
+        :meth:`~repro.index.climbing.ClimbingIndex.lookup_all`).
+        """
+        lo, hi = 0, self.count - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            got = self._read_at(mid)
+            if got == value:
+                return True
+            if got < value:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return False
 
 
 def write_u32s(store: FlashStore, values: Iterable[int],

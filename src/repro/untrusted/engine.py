@@ -16,12 +16,11 @@ into Secure is charged, by the :class:`VisServer`.
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import StorageError
-from repro.schema.model import Column, Schema, Table
+from repro.schema.model import Column, Schema
 
 
 @dataclass(frozen=True)

@@ -126,6 +126,26 @@ class VisServer:
         self.batches_served += 1
         return [self._serve(r) for r in requests]
 
+    def push_rows(self, table: str, visible_rows: Sequence[Tuple]) -> int:
+        """Ship the visible halves of inserted rows to Untrusted.
+
+        This is the Vis protocol's only data-bearing outbound message:
+        the values are Visible by schema definition (they *live* on
+        Untrusted), so sending them reveals nothing hidden.  The
+        transfer is charged and audited like any outbound message;
+        returns the bytes shipped.
+        """
+        visible_rows = list(visible_rows)
+        columns = [c.name for c in self.engine.visible_columns(table)]
+        nbytes = max(1, len(visible_rows)
+                     * max(0, self._row_width(table, columns) - ID_SIZE))
+        self.token.channel.to_untrusted(
+            nbytes, kind="dml_visible",
+            description=f"Insert({table}) {len(visible_rows)} rows",
+        )
+        self.engine.load(table, visible_rows)
+        return nbytes
+
     def count(self, table: str,
               predicates: Sequence[VisPredicate]) -> int:
         """Count-only exchange (used by the cost-based planner)."""

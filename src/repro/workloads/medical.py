@@ -79,7 +79,7 @@ def build_medical(config: Optional[MedicalConfig] = None,
     rng = random.Random(cfg.seed)
     db = GhostDB(config=token_config, indexed_columns=dict(INDEXES))
     for ddl in DDL:
-        db.execute_ddl(ddl)
+        db.execute(ddl)
     n = {t: cfg.cardinality(t) for t in PAPER_CARDINALITIES}
 
     db.load("Doctors", [

@@ -86,7 +86,7 @@ def build_synthetic(config: Optional[SyntheticConfig] = None,
     indexes = FULL_INDEXES if cfg.full_indexing else EXPERIMENT_INDEXES
     db = GhostDB(config=token_config, indexed_columns=dict(indexes))
     for ddl in DDL:
-        db.execute_ddl(ddl)
+        db.execute(ddl)
 
     n = {t: cfg.cardinality(t) for t in PAPER_CARDINALITIES}
     db.load("T11", [(i % V_DOMAIN, i % H_DOMAIN)

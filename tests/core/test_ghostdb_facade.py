@@ -1,5 +1,7 @@
 """Unit tests for the GhostDB facade: lifecycle, stats, errors."""
 
+import warnings
+
 import pytest
 
 from repro import GhostDB, TokenConfig
@@ -111,6 +113,32 @@ def test_storage_report_available_after_build():
     db = make_db()
     report = db.storage_report()
     assert sum(report.values()) > 0
+
+
+def test_deprecated_shims_warn_and_still_work():
+    """``execute_ddl``/``query`` keep working but point at execute()."""
+    db = GhostDB()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        db.execute_ddl("CREATE TABLE X (id int, v int, h int HIDDEN)")
+    assert any(issubclass(w.category, DeprecationWarning)
+               and "execute" in str(w.message) for w in caught)
+    db.load("X", [(i, i % 3) for i in range(20)])
+    db.build()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = db.query("SELECT X.id FROM X WHERE X.h = 1")
+    assert any(issubclass(w.category, DeprecationWarning)
+               and "execute" in str(w.message) for w in caught)
+    _, expected = db.reference_query("SELECT X.id FROM X WHERE X.h = 1")
+    assert sorted(result.rows) == sorted(expected)
+    # the replacement gives the same answer with no warning
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        modern = db.execute("SELECT X.id FROM X WHERE X.h = 1")
+    assert not [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+    assert sorted(modern.rows) == sorted(expected)
 
 
 def test_ram_balanced_after_many_queries():

@@ -144,7 +144,6 @@ def test_buffers_freed_on_early_abandonment():
 def test_to_flash_materializes():
     store, ram = make_env()
     op = MergeOperator(store, ram)
-    g = [flash_run(store, [3, 1, 2][::-1])]  # [2,1,3] reversed = sorted
     view = op.to_flash([[flash_run(store, [1, 2, 3])]])
     assert list(view.iterate()) == [1, 2, 3]
     assert ram.used == 0

@@ -1,10 +1,7 @@
 """Targeted tests for projection internals: multi-pass MJoin, false-
 positive elimination, hidden-only scans and brute-force parity."""
 
-import pytest
-
 from repro import GhostDB, TokenConfig
-from repro.workloads.queries import query_q_with_hidden_projection
 
 
 def build_db(ram_bytes=65536, n_child=40, n_root=400):

@@ -8,7 +8,6 @@ randomly shaped data and conjunctive queries.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -61,6 +61,42 @@ def test_outbound_independent_of_hidden_data(tiny_db, db):
     assert log_a == log_b
 
 
+def test_insert_hidden_values_never_leave_the_token():
+    """After a batch of INSERTs, the audit log contains the statement
+    texts but none of the hidden column values."""
+    from repro import GhostDB
+
+    db = GhostDB()
+    db.execute("CREATE TABLE Patients (id int, name char(40) HIDDEN, "
+               "age int, bodymassindex int HIDDEN)")
+    db.execute("INSERT INTO Patients VALUES ('seed-patient', 30, 22)")
+    db.build()
+    db.token.channel.stats.outbound_log.clear()
+
+    secrets = [("freud-top-secret", 51, 31415),
+               ("jung-classified", 44, 27183)]
+    for name, age, bmi in secrets:
+        db.execute(f"INSERT INTO Patients VALUES ('{name}', {age}, {bmi})")
+    db.execute("INSERT INTO Patients VALUES (?, ?, ?)",
+               params=("param-secret", 60, 99999))
+    db.execute("DELETE FROM Patients WHERE age > 55")
+
+    log = db.audit_outbound()
+    texts = " ".join(m.description for m in log)
+    # the statement texts are announced...
+    assert "INSERT INTO Patients" in texts
+    assert "DELETE FROM Patients" in texts
+    # ...but hidden values never appear in any outbound description
+    for hidden in ("freud-top-secret", "jung-classified", "param-secret",
+                   "31415", "27183", "99999"):
+        assert hidden not in texts, hidden
+    # visible values (age) are public by schema definition
+    assert "51" in texts
+    # and every outbound kind is an approved one
+    assert {m.kind for m in log} <= {"query", "vis_request",
+                                     "dml_visible"}
+
+
 def test_vis_requests_mention_only_visible_columns(db):
     """Vis requests (unlike the public query text) must never carry
     hidden column names or values."""

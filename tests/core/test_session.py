@@ -196,6 +196,57 @@ def test_rebuild_with_restricted_indexes():
 
 
 # ---------------------------------------------------------------------------
+# per-table DML invalidation
+# ---------------------------------------------------------------------------
+
+def test_dml_invalidates_only_plans_touching_the_mutated_table():
+    """INSERT into P must not evict cached C-only plans."""
+    db = make_db()
+    session = db.session()
+    c_sql = "SELECT C.id FROM C WHERE C.h = 1"
+    p_sql = "SELECT P.id FROM P WHERE P.h = 2"
+    session.query(c_sql)
+    session.query(p_sql)
+    assert len(session.plan_cache) == 2
+
+    db.execute("INSERT INTO P VALUES (0, 99, 2)")
+
+    session.query(c_sql)               # untouched table: cache hit
+    assert session.plan_cache.hits == 1
+    assert session.plan_cache.stale_drops == 0
+    session.query(p_sql)               # mutated table: replanned
+    assert session.plan_cache.stale_drops == 1
+    assert session.plan_cache.hits == 1
+    # both entries are fresh again
+    session.query(p_sql)
+    assert session.plan_cache.hits == 2
+
+
+def test_dml_invalidates_join_plans_touching_the_table():
+    db = make_db()
+    session = db.session()
+    join_sql = ("SELECT P.id FROM P, C WHERE P.fk = C.id "
+                "AND C.h = 1 AND P.v < 30")
+    session.query(join_sql)
+    db.execute("INSERT INTO C VALUES (70, 1)")
+    result = session.query(join_sql)   # C mutated -> join plan stale
+    assert session.plan_cache.stale_drops == 1
+    _, expected = db.reference_query(join_sql)
+    assert sorted(result.rows) == sorted(expected)
+
+
+def test_prepared_statement_replans_after_dml_on_its_tables():
+    db = make_db()
+    stmt = db.prepare(TEMPLATE)
+    first = stmt.execute((1, 200))
+    db.execute("INSERT INTO P VALUES (1, 150, 3)")
+    again = stmt.execute((1, 200))
+    _, expected = db.reference_query(concrete(1, 200))
+    assert sorted(again.rows) == sorted(expected)
+    assert len(again.rows) == len(first.rows) + 1
+
+
+# ---------------------------------------------------------------------------
 # batched execution
 # ---------------------------------------------------------------------------
 

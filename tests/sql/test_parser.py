@@ -112,11 +112,40 @@ def test_parse_sum_star_rejected():
 
 def test_parse_garbage_rejected():
     with pytest.raises(SqlSyntaxError):
-        parse("DELETE FROM t")
+        parse("DROP TABLE t")
     with pytest.raises(SqlSyntaxError):
         parse("SELECT FROM t")
     with pytest.raises(SqlSyntaxError):
         parse("SELECT a FROM t WHERE")
+    with pytest.raises(SqlSyntaxError):
+        parse("INSERT INTO t VALUES 1, 2")
+    with pytest.raises(SqlSyntaxError):
+        parse("DELETE t WHERE a = 1")
+
+
+def test_parse_insert():
+    stmt = parse("INSERT INTO t VALUES (1, 'x', 2.5), (-3, 'y', ?)")
+    assert isinstance(stmt, ast.InsertStatement)
+    assert stmt.table == "t"
+    assert stmt.columns is None
+    assert stmt.rows[0] == (1, "x", 2.5)
+    assert stmt.rows[1][0] == -3
+    assert isinstance(stmt.rows[1][2], ast.Parameter)
+
+
+def test_parse_insert_with_column_list():
+    stmt = parse("INSERT INTO t (a, b) VALUES (1, 2)")
+    assert stmt.columns == ("a", "b")
+    assert stmt.rows == ((1, 2),)
+
+
+def test_parse_delete():
+    stmt = parse("DELETE FROM t WHERE v < 5 AND h IN (1, 2)")
+    assert isinstance(stmt, ast.DeleteStatement)
+    assert stmt.table == "t"
+    assert len(stmt.predicates) == 2
+    bare = parse("DELETE FROM t")
+    assert bare.predicates == ()
 
 
 def test_trailing_semicolon_ok():
