@@ -66,7 +66,7 @@ def main() -> None:
         "AND Patients.doctor_id = Doctors.id "
         "AND Patients.age < 20 AND Doctors.name = 'surname3'"
     )
-    result = db.execute(sql, vis_strategy="pre")
+    result = db.execute(sql)   # strategy chosen by the cost model
     for op in ("Merge", "SJoin", "Store", "Project"):
         bar = "#" * int(400 * result.stats.operator_s(op))
         print(f"   {op:8s} {result.stats.operator_s(op) * 1000:8.2f} ms {bar}")

@@ -49,6 +49,13 @@ def main() -> None:
            "FROM Patients WHERE age = 50 AND bodymassindex = 23")
     print("query:", sql)
     print()
+    # no strategy knobs anywhere: the cost-based planner estimates
+    # selectivities from the token's statistics catalog (zero round
+    # trips) and picks the cheapest strategy by itself
+    age = db.statistics()["Patients"]["age"]
+    print(f"stats sketch Patients.age: n={age['n']} "
+          f"distinct={age['n_distinct']} range=[{age['min']},{age['max']}]")
+    print()
     print("plan:")
     print(db.explain(sql))
     print()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Fold a pytest-benchmark JSON dump into the perf-trajectory point.
+
+The CI perf-smoke job runs ``benchmarks/test_fig10_pre_vs_post.py``
+and ``benchmarks/test_fig14_throughput.py`` with
+``--benchmark-json=bench_raw.json`` and then calls::
+
+    python scripts/perf_smoke_report.py bench_raw.json BENCH_pr3.json
+
+The emitted file carries wall-clock timings of the two figure drivers
+plus the simulated-time tables they captured under ``results/`` -- one
+comparable point per PR, so regressions in either real or simulated
+time show up as a broken trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+TABLES = ("fig10_pre_vs_post", "fig14_throughput")
+
+
+def main(raw_path: str, out_path: str) -> None:
+    raw = json.loads(pathlib.Path(raw_path).read_text())
+    benchmarks = [
+        {
+            "name": bench["name"],
+            "wall_s_mean": bench["stats"]["mean"],
+            "wall_s_stddev": bench["stats"]["stddev"],
+            "rounds": bench["stats"]["rounds"],
+        }
+        for bench in raw.get("benchmarks", [])
+    ]
+    simulated = {}
+    for name in TABLES:
+        table = REPO / "results" / f"{name}.txt"
+        if table.exists():
+            simulated[name] = table.read_text().splitlines()
+    machine = raw.get("machine_info", {})
+    report = {
+        "schema": "ghostdb-perf-smoke/1",
+        "pr": 3,
+        "python": machine.get("python_version"),
+        "machine": machine.get("cpu", {}).get("brand_raw"),
+        "benchmarks": benchmarks,
+        "simulated_tables": simulated,
+    }
+    pathlib.Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}: {len(benchmarks)} benchmark(s), "
+          f"{len(simulated)} simulated table(s)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        sys.exit("usage: perf_smoke_report.py <bench_raw.json> <out.json>")
+    main(sys.argv[1], sys.argv[2])

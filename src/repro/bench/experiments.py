@@ -164,7 +164,8 @@ def fig9_crosspre_vs_crosspost(db: GhostDB,
 
 def fig10_pre_vs_post(db: GhostDB,
                       sv_grid: Sequence[float] = SV_GRID) -> List[Dict]:
-    """Pre vs Post without the Cross optimization, plus NoFilter."""
+    """Pre vs Post without the Cross optimization, plus NoFilter, plus
+    the cost-based optimizer's pick (no knobs) for comparison."""
     rows = []
     for sv in sv_grid:
         sql = query_q(sv)
@@ -175,7 +176,66 @@ def fig10_pre_vs_post(db: GhostDB,
                                   cross=False),
             "NoFilter": _timed(db, sql, vis_strategy="nofilter",
                                cross=False),
+            "Auto": _timed(db, sql),
         })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# cost-based optimizer: differential sweep (PR-3 harness)
+# ---------------------------------------------------------------------------
+
+#: every candidate the optimizer weighs: the four strategies, Crossed
+#: and unCrossed
+ALL_STRATEGIES = tuple(
+    (strategy, cross)
+    for strategy in ("pre", "post", "post-select", "nofilter")
+    for cross in (False, True)
+)
+
+
+def optimizer_differential(db: GhostDB, sql_of,
+                           sv_grid: Sequence[float] = SV_GRID,
+                           check_rows: bool = False) -> List[Dict]:
+    """Run *every* strategy plus the auto plan at each selectivity.
+
+    Returns one row per grid point carrying each forced strategy's
+    measured simulated time, the auto plan's time and pick, the best
+    hand-picked time, and ``auto_ratio = auto / best`` -- the quantity
+    the differential test harness bounds by 1.25.  ``check_rows=True``
+    additionally asserts every strategy returns oracle-identical rows.
+    """
+    rows = []
+    for sv in sv_grid:
+        sql = sql_of(sv)
+        expected = (sorted(db.reference_query(sql)[1])
+                    if check_rows else None)
+        row: Dict = {"sv": sv}
+        best = None
+        for strategy, cross in ALL_STRATEGIES:
+            result = db.execute(sql, vis_strategy=strategy, cross=cross)
+            if check_rows and sorted(result.rows) != expected:
+                raise AssertionError(
+                    f"{strategy}/cross={cross} at sv={sv}: rows diverge "
+                    f"from the reference oracle"
+                )
+            key = ("Cross-" if cross else "") + strategy
+            row[key] = result.stats.total_s
+            best = (result.stats.total_s if best is None
+                    else min(best, result.stats.total_s))
+        auto = db.execute(sql)
+        if check_rows and sorted(auto.rows) != expected:
+            raise AssertionError(f"auto plan at sv={sv}: rows diverge "
+                                 f"from the reference oracle")
+        picked = auto.plan.vis_plans[
+            next(t for t in auto.plan.vis_plans
+                 if t != auto.plan.bound.anchor)
+        ] if len(auto.plan.vis_plans) > 1 else None
+        row["Auto"] = auto.stats.total_s
+        row["auto_pick"] = picked.describe() if picked else "-"
+        row["best"] = best
+        row["auto_ratio"] = auto.stats.total_s / best if best else 1.0
+        rows.append(row)
     return rows
 
 

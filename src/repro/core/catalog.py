@@ -16,6 +16,12 @@ Incremental DML adds three per-table pieces of append-only state:
 * a *data generation* counter, bumped by every INSERT/DELETE, that
   session plan caches compare against so DML invalidates only plans
   touching the mutated table.
+
+The catalog also owns the *statistics catalog* (:mod:`repro.core.stats`):
+one :class:`~repro.core.stats.TableStats` sketch set per table,
+gathered at build/rebuild time and incrementally maintained by the DML
+paths, with a parallel per-table *stats generation* so plan caches
+treat statistics changes exactly like data changes.
 """
 
 from __future__ import annotations
@@ -23,8 +29,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.core.stats import TableStats
 from repro.errors import PlanError
 from repro.hardware.token import SecureToken
+from repro.index.climbing import Predicate
 from repro.index.climbing import ClimbingIndex
 from repro.index.skt import SubtreeKeyTable
 from repro.flash.constants import ID_SIZE
@@ -71,6 +79,14 @@ class SecureCatalog:
             name: 0 for name in schema.tables
         }
         self._tombstone_logs: Dict[str, FlashFile] = {}
+        # --- statistics catalog (planner metadata, token-resident) ---
+        self.stats: Dict[str, TableStats] = {}
+        self.stats_generations: Dict[str, int] = {
+            name: 0 for name in schema.tables
+        }
+        # generations as of this catalog's (re)build; a rebuild compares
+        # against them to find the tables mutated since
+        self.built_generations: Dict[str, int] = dict(self.data_generations)
 
     # ------------------------------------------------------------------
     def image(self, table: str) -> TableImage:
@@ -147,11 +163,78 @@ class SecureCatalog:
         self.data_generations[table] += 1
 
     def generations_for(self, tables: Iterable[str]
-                        ) -> Tuple[Tuple[str, int], ...]:
-        """Snapshot of the data generations a plan depends on."""
+                        ) -> Tuple[Tuple[str, Tuple[int, int]], ...]:
+        """Snapshot of the (data, stats) generations a plan depends on."""
         return tuple(sorted(
-            (t, self.data_generations[t]) for t in tables
+            (t, (self.data_generations[t], self.stats_generations[t]))
+            for t in tables
         ))
+
+    # ------------------------------------------------------------------
+    # statistics catalog
+    # ------------------------------------------------------------------
+    def stats_for(self, table: str) -> TableStats:
+        try:
+            return self.stats[table]
+        except KeyError:
+            raise PlanError(
+                f"no statistics gathered for {table!r}"
+            ) from None
+
+    def selectivity(self, table: str, column: str,
+                    predicate: Predicate) -> float:
+        """Estimated selectivity of ``predicate`` over live rows."""
+        stats = self.stats.get(table)
+        if stats is None:
+            return 0.5
+        return stats.selectivity(column, predicate)
+
+    def record_inserted_rows(self, table: str,
+                             rows: Iterable[Tuple]) -> None:
+        """Fold freshly appended rows into the table's sketches."""
+        stats = self.stats.get(table)
+        if stats is None:
+            return
+        for row in rows:
+            stats.add_row(row)
+        self.stats_generations[table] += 1
+
+    def record_deleted_rows(self, table: str,
+                            ids: Iterable[int]) -> None:
+        """Fold tombstoned rows out of the table's sketches.
+
+        The deleted values come from the retained raw rows; bounds stay
+        conservative until the next rebuild/analyze re-tightens them.
+        """
+        stats = self.stats.get(table)
+        if stats is None:
+            return
+        rows = self.raw_rows[table]
+        changed = False
+        for rid in ids:
+            stats.remove_row(rows[rid])
+            changed = True
+        if changed:
+            self.stats_generations[table] += 1
+
+    def analyze(self) -> Dict[str, Dict]:
+        """Recompute every table's sketches from the live rows.
+
+        Unlike the incremental maintenance this re-tightens min/max
+        bounds after deletes.  Bumps each recomputed table's stats
+        generation so cached auto plans are re-costed.
+        """
+        out: Dict[str, Dict] = {}
+        for name in self.schema.tables:
+            dead = self.tombstones[name]
+            live = [row for rid, row in enumerate(self.raw_rows[name])
+                    if rid not in dead]
+            self.stats[name] = TableStats.from_rows(
+                self.schema.table(name), live
+            )
+            self.stats_generations[name] += 1
+            out[name] = self.stats[name].describe()
+        return out
 
     # ------------------------------------------------------------------
     def storage_report(self) -> Dict[str, int]:

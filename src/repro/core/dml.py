@@ -111,6 +111,7 @@ class DmlExecutor:
             for row in bound.rows:
                 self._append_row(table, row, hidden, hid_positions,
                                  fk_positions)
+        self.catalog.record_inserted_rows(bound.table, bound.rows)
         self.catalog.bump_generation(bound.table)
         return len(bound.rows)
 
@@ -195,6 +196,7 @@ class DmlExecutor:
         with self.token.label(DML_LABEL):
             self._check_restrict(bound.table, ids)
             n = self.catalog.mark_deleted(bound.table, ids)
+        self.catalog.record_deleted_rows(bound.table, ids)
         self.catalog.bump_generation(bound.table)
         return n
 

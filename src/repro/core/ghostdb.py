@@ -63,7 +63,7 @@ from repro.core.dml import DmlExecutor, DmlResult
 from repro.core.executor import QepSjExecutor, QueryResult, QueryStats
 from repro.core.loader import Loader
 from repro.core.operators import ExecContext
-from repro.core.plan import ProjectionMode, QueryPlan
+from repro.core.plan import ProjectionMode, QueryPlan, VisPlan
 from repro.core.planner import Planner, StrategyLike
 from repro.core.project import ProjectionExecutor
 from repro.core.reference import ReferenceEngine
@@ -285,9 +285,34 @@ class GhostDB:
             )
         return self._planner.plan(bound, vis_strategy, cross, projection)
 
-    def explain(self, sql: str, **kwargs) -> str:
-        """Human-readable plan description."""
-        return self.plan_query(sql, **kwargs).describe()
+    def explain(self, sql: str, analyze: bool = False, **kwargs) -> str:
+        """Human-readable plan description.
+
+        Cost-based plans (no ``vis_strategy`` override) include every
+        candidate assignment with its estimated simulated time, channel
+        bytes and secure-RAM peak.  ``analyze=True`` additionally
+        *executes* each candidate and reports the measured simulated
+        time next to the estimate -- the estimated-vs-measured view of
+        the optimizer's decision surface.  (Analyze runs really charge
+        the token's ledger; use it as a tuning tool, not on a hot
+        path.)
+        """
+        plan = self.plan_query(sql, **kwargs)
+        if analyze and plan.cost_report is not None:
+            for cand in plan.cost_report.candidates:
+                if cand.estimate.infeasible:
+                    continue   # the executor would exhaust secure RAM
+                trial = dataclasses.replace(
+                    plan,
+                    vis_plans={
+                        **plan.vis_plans,
+                        **{t: VisPlan(t, c.strategy, c.cross)
+                           for t, c in cand.assignment},
+                    },
+                    cost_report=None,
+                )
+                cand.measured_s = self.execute_plan(trial).stats.total_s
+        return plan.describe()
 
     def query(self, sql: str,
               vis_strategy: StrategyLike = None,
@@ -393,15 +418,23 @@ class GhostDB:
         return self._generation
 
     @property
-    def table_generations(self) -> Dict[str, int]:
-        """Per-table data generations (bumped by INSERT/DELETE).
+    def table_generations(self) -> Dict[str, Tuple[int, int]]:
+        """Per-table ``(data, stats)`` generations.
 
-        Session plan caches compare cached entries against this map,
-        so DML invalidates only plans touching the mutated table.
+        The data generation bumps on INSERT/DELETE, the stats
+        generation whenever the table's sketches change (DML or
+        :meth:`analyze`).  Session plan caches compare cached entries
+        against this map, so DML -- and statistics refreshes, which can
+        flip a cost-based strategy choice -- invalidate only plans
+        touching the mutated table.
         """
         if self.catalog is None:
             return {}
-        return self.catalog.data_generations
+        return {
+            t: (self.catalog.data_generations[t],
+                self.catalog.stats_generations[t])
+            for t in self.schema.tables
+        }
 
     def session(self, plan_cache_capacity: int = 64) -> Session:
         """A new session (own plan cache) over this database."""
@@ -453,19 +486,35 @@ class GhostDB:
 
         Rebuilds hidden images, SKTs and climbing indexes (optionally
         with a different ``indexed_columns`` selection) on a fresh
-        token, bumps :attr:`generation` and invalidates every live
-        session's plan cache: cached plans may reference indexes that
-        no longer exist after a rebuild.
+        token and bumps :attr:`generation`.
+
+        Cache invalidation is routed through the per-table generations
+        rather than a global plan-cache flush: tables mutated since the
+        last (re)build carry their generation counters forward *bumped*,
+        so only plans touching them stale-drop on their next lookup,
+        while plans over untouched tables (whose compaction is an
+        identity) keep serving from every session's cache.  Only an
+        explicit ``indexed_columns`` change -- which can invalidate any
+        plan's index assumptions -- still flushes the caches globally.
 
         Rebuilding also *compacts*: tombstoned rows are dropped, ids
-        are re-densified (foreign keys remapped accordingly) and every
-        climbing-index delta log is folded back into a bulk-built
-        tree.  Incremental DML keeps the database live between
-        rebuilds; a rebuild is worthwhile once tombstones or deltas
-        accumulate.
+        are re-densified (foreign keys remapped accordingly), every
+        climbing-index delta log is folded back into a bulk-built tree,
+        and the statistics sketches are regathered (re-tightening
+        min/max bounds that deletes left conservative).  Incremental
+        DML keeps the database live between rebuilds; a rebuild is
+        worthwhile once tombstones or deltas accumulate.
         """
         self._require_built()
         raw_rows = self._compacted_rows()
+        old = self.catalog
+        dirty = {
+            t for t in self.schema.tables
+            if old.data_generations[t] != old.built_generations[t]
+            or old.stats_generations[t] != 0
+        }
+        reindexed = (indexed_columns is not None
+                     and indexed_columns != self._indexed_columns)
         if indexed_columns is not None:
             self._indexed_columns = indexed_columns
         self.token = SecureToken(self.token.config)
@@ -475,11 +524,18 @@ class GhostDB:
         for table, rows in raw_rows.items():
             self._loader.add_rows(table, rows)
         self.catalog = self._loader.build()
+        # carry the generation counters across the rebuild, bumping the
+        # mutated tables so their cached plans stale-drop selectively
+        for t in self.schema.tables:
+            gen = old.data_generations[t] + (1 if t in dirty else 0)
+            self.catalog.data_generations[t] = gen
+            self.catalog.built_generations[t] = gen
         self._wire_engines()
         self.token.reset_costs()
         self._generation += 1
-        for session in list(self._sessions):
-            session.invalidate()
+        if reindexed:
+            for session in list(self._sessions):
+                session.invalidate()
 
     def _compacted_rows(self) -> Dict[str, List[Tuple]]:
         """Live raw rows with dense new ids and remapped foreign keys.
@@ -515,6 +571,31 @@ class GhostDB:
                 kept.append(row)
             out[name] = kept
         return out
+
+    # ------------------------------------------------------------------
+    # statistics catalog
+    # ------------------------------------------------------------------
+    def analyze(self) -> Dict[str, Dict]:
+        """Recompute every table's statistics sketches from live rows.
+
+        The incremental maintenance keeps counts exact but leaves
+        min/max as conservative bounds after deletes; ``analyze()``
+        re-tightens them.  Bumps the per-table stats generations, so
+        cached cost-based plans re-cost on their next lookup (stats
+        changes invalidate exactly like data changes).  Returns the
+        refreshed per-table summaries.
+        """
+        self._require_built()
+        return self.catalog.analyze()
+
+    def statistics(self) -> Dict[str, Dict]:
+        """Per-table, per-column sketch summaries (n, distinct, bounds,
+        most common values) as plain dicts."""
+        self._require_built()
+        return {
+            name: stats.describe()
+            for name, stats in self.catalog.stats.items()
+        }
 
     # ------------------------------------------------------------------
     # oracle, audit, reports

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import StorageError
 from repro.core.catalog import SecureCatalog, TableImage
+from repro.core.stats import TableStats
 from repro.hardware.token import SecureToken
 from repro.index.climbing import ClimbingIndex
 from repro.index.skt import SubtreeKeyTable
@@ -82,6 +83,7 @@ class Loader:
             self._build_skts(catalog, desc_maps)
             anc_maps = self._compute_ancestor_maps()
             self._build_indexes(catalog, anc_maps)
+            self._gather_stats(catalog)
         self.built = True
         return catalog
 
@@ -216,3 +218,15 @@ class Loader:
                 )
         # keep raw rows available for the reference engine / tests
         catalog.raw_rows = dict(self._pending)
+
+    def _gather_stats(self, catalog: SecureCatalog) -> None:
+        """One statistics pass while the rows are still streaming by.
+
+        Visible *and* hidden column sketches stay on the token (they
+        never cross the channel), which is what lets the cost-based
+        planner estimate selectivities without outbound probes.
+        """
+        for name, rows in self._pending.items():
+            catalog.stats[name] = TableStats.from_rows(
+                self.schema.table(name), rows
+            )

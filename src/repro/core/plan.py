@@ -23,10 +23,13 @@ from __future__ import annotations
 import dataclasses
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.sql.binder import BoundQuery
 from repro.storage.runs import U32View
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.costmodel import CostReport
 
 
 class VisStrategy(enum.Enum):
@@ -68,6 +71,9 @@ class QueryPlan:
     bound: BoundQuery
     vis_plans: Dict[str, VisPlan] = field(default_factory=dict)
     projection_mode: ProjectionMode = ProjectionMode.PROJECT
+    #: candidate costs when the planner chose cost-based (None when a
+    #: strategy override forced the decision)
+    cost_report: Optional["CostReport"] = None
 
     def with_bound(self, bound: BoundQuery) -> "QueryPlan":
         """The same strategy decisions applied to another bound query.
@@ -91,6 +97,8 @@ class QueryPlan:
         for table, vp in self.vis_plans.items():
             lines.append(f"visible {table}: {vp.describe()}")
         lines.append(f"projection: {self.projection_mode.value}")
+        if self.cost_report is not None and self.cost_report.candidates:
+            lines.append(self.cost_report.describe())
         return "\n".join(lines)
 
 

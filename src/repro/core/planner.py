@@ -1,38 +1,46 @@
-"""Strategy selection for Visible predicates.
+"""Cost-based strategy selection for Visible predicates.
 
 The paper leaves a cost-based optimizer to future work but its
-experiments chart the decision surface precisely:
+experiments chart the decision surface precisely: Pre-Filter wins at
+high selectivity and loses its SJoin page-skipping edge beyond
+sV ~= 0.1 (Figures 9/15); a Bloom Post-Filter stops paying off around
+sV ~= 0.5, where postponing the selection to projection time
+(NoFilter) wins (Figure 10); Cross-filtering helps "whatever the
+selectivity" when a hidden selection exists on the same table or a
+descendant (Figure 8).
 
-* Pre-Filter wins at high selectivity; its SJoin page-skipping benefit
-  vanishes once sV exceeds ~0.1 (Figures 9/15), where Post-Filter wins.
-* A Bloom post-filter stops paying off beyond sV ~= 0.5 -- it would
-  introduce more false positives than it eliminates -- at which point
-  the selection is postponed to projection time (NoFilter, Figure 10).
-* Cross-filtering helps whenever a hidden selection exists on the same
-  table or a descendant, "whatever the selectivity" (Figure 8), so it
-  is on by default when available.
-
-``Planner`` implements exactly those rules, probing Untrusted with a
-count-only Vis request (query-derived, hence leak-free) to estimate
-selectivity; explicit overrides reproduce the paper's fixed-strategy
-experiments.
+Instead of hard-coding those crossover points, :class:`Planner`
+derives them: it enumerates every candidate strategy assignment,
+prices each with the :class:`~repro.core.costmodel.CostModel` against
+the statistics catalog (channel bytes, flash page reads, secure-RAM
+peak), and picks the cheapest.  Selectivities come from the token's
+own sketches, so planning costs *zero* channel round trips -- the
+count-probe protocol of earlier versions is gone.  Explicit
+``vis_strategy``/``cross`` overrides still force one choice for all
+tables, reproducing the paper's fixed-strategy experiments.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.catalog import SecureCatalog
-from repro.core.operators import to_vis_predicates
+from repro.core.costmodel import (
+    Assignment,
+    CandidateCost,
+    Choice,
+    CostModel,
+    CostReport,
+)
 from repro.core.plan import ProjectionMode, QueryPlan, VisPlan, VisStrategy
 from repro.errors import PlanError
 from repro.sql.binder import BoundQuery
 from repro.untrusted.server import VisServer
 
-#: selectivity above which Pre-Filter loses its SJoin page-skipping edge
-PRE_FILTER_LIMIT = 0.1
-#: selectivity above which a Bloom filter hurts more than it helps
-POST_FILTER_LIMIT = 0.5
+#: full-enumeration ceiling; beyond it the planner decides tables
+#: greedily one at a time (assignments grow as 8^tables)
+MAX_ASSIGNMENTS = 256
 
 StrategyLike = Union[str, VisStrategy, None]
 
@@ -67,6 +75,7 @@ class Planner:
     def __init__(self, catalog: SecureCatalog, vis_server: VisServer):
         self.catalog = catalog
         self.vis = vis_server
+        self.cost_model = CostModel(catalog, catalog.token)
         self.plans_built = 0
 
     # ------------------------------------------------------------------
@@ -79,37 +88,90 @@ class Planner:
             for sel in bound.hidden_selections()
         )
 
-    def _estimate_selectivity(self, bound: BoundQuery, table: str) -> float:
-        preds = to_vis_predicates(bound.visible_selections(table))
-        with self.catalog.token.label("Plan"):
-            count = self.vis.count(table, preds)
-        total = max(1, self.catalog.n_rows(table))
-        return count / total
+    def _vis_tables(self, bound: BoundQuery) -> List[str]:
+        tables: List[str] = []
+        for sel in bound.visible_selections():
+            if sel.table not in tables:
+                tables.append(sel.table)
+        return tables
 
-    def _estimate_selectivities(self, bound: BoundQuery,
-                                tables: Sequence[str]
-                                ) -> Dict[str, float]:
-        """Selectivity probes for ``tables``, batched into one
-        Secure -> Untrusted round trip when several are needed."""
-        if not tables:
-            return {}
-        if len(tables) == 1:
-            return {tables[0]: self._estimate_selectivity(bound, tables[0])}
-        items = [(t, to_vis_predicates(bound.visible_selections(t)))
-                 for t in tables]
-        with self.catalog.token.label("Plan"):
-            counts = self.vis.count_batch(items)
-        return {
-            table: count / max(1, self.catalog.n_rows(table))
-            for (table, _), count in zip(items, counts)
+    # ------------------------------------------------------------------
+    # candidate enumeration
+    # ------------------------------------------------------------------
+    def _choice_space(self, bound: BoundQuery, table: str,
+                      cross: Optional[bool]) -> List[Choice]:
+        if cross is None:
+            cross_options: Tuple[bool, ...] = (True, False)
+        elif cross:
+            cross_options = (True,)
+        else:
+            cross_options = (False,)
+        if not self._cross_available(bound, table):
+            cross_options = (False,)
+        return [Choice(strategy, use_cross)
+                for use_cross in cross_options
+                for strategy in VisStrategy]
+
+    def _optimize(self, bound: BoundQuery, tables: Sequence[str],
+                  cross: Optional[bool], mode: ProjectionMode
+                  ) -> CostReport:
+        """Enumerate and price candidate assignments; cheapest first."""
+        spaces = {t: self._choice_space(bound, t, cross) for t in tables}
+        n_assignments = 1
+        for choices in spaces.values():
+            n_assignments *= len(choices)
+        if n_assignments <= MAX_ASSIGNMENTS:
+            assignments: List[Assignment] = [
+                tuple(zip(tables, combo))
+                for combo in itertools.product(
+                    *(spaces[t] for t in tables))
+            ]
+        else:
+            assignments = self._greedy_assignments(bound, tables, spaces,
+                                                   mode)
+        candidates = [
+            CandidateCost(assignment=a,
+                          estimate=self.cost_model.estimate(bound, a, mode))
+            for a in assignments
+        ]
+        best = min(candidates, key=lambda c: (c.estimate.infeasible,
+                                              c.estimate.total_us))
+        best.chosen = True
+        return CostReport(
+            candidates=candidates,
+            selectivities={
+                t: self.cost_model.vis_selectivity(bound, t)
+                for t in self._vis_tables(bound)
+            },
+            hidden_selectivities={
+                f"{sel.table}.{sel.column.name}": self.catalog.selectivity(
+                    sel.table, sel.column.name, sel.predicate)
+                for sel in bound.hidden_selections()
+            },
+        )
+
+    def _greedy_assignments(self, bound: BoundQuery,
+                            tables: Sequence[str],
+                            spaces: Dict[str, List[Choice]],
+                            mode: ProjectionMode) -> List[Assignment]:
+        """Fix tables one at a time (others pinned at Pre-Filter); the
+        returned list holds one final assignment per local winner so
+        the report stays small on very wide queries."""
+        decided: Dict[str, Choice] = {
+            t: Choice(VisStrategy.PRE, False) for t in tables
         }
-
-    def _auto_strategy(self, selectivity: float) -> VisStrategy:
-        if selectivity <= PRE_FILTER_LIMIT:
-            return VisStrategy.PRE
-        if selectivity <= POST_FILTER_LIMIT:
-            return VisStrategy.POST
-        return VisStrategy.NOFILTER
+        for table in tables:
+            best, best_cost = None, None
+            for choice in spaces[table]:
+                trial = dict(decided)
+                trial[table] = choice
+                cost = self.cost_model.estimate(
+                    bound, tuple(sorted(trial.items())), mode
+                ).total_us
+                if best_cost is None or cost < best_cost:
+                    best, best_cost = choice, cost
+            decided[table] = best
+        return [tuple(sorted(decided.items()))]
 
     # ------------------------------------------------------------------
     def plan(self, bound: BoundQuery,
@@ -120,35 +182,49 @@ class Planner:
         """Decide strategies for every table carrying visible selections.
 
         ``vis_strategy``/``cross`` force one choice for all tables (the
-        paper's experiments do this); ``None`` means cost-based.
+        paper's experiments do this); ``None`` means cost-based: every
+        candidate assignment is priced by the cost model and the
+        cheapest wins.  The losing candidates ride along on the plan's
+        :attr:`~repro.core.plan.QueryPlan.cost_report` for ``EXPLAIN``.
         """
         override = _coerce_strategy(vis_strategy)
+        mode = _coerce_mode(projection)
         vis_plans: Dict[str, VisPlan] = {}
-        tables_with_vis = []
-        for sel in bound.visible_selections():
-            if sel.table not in tables_with_vis:
-                tables_with_vis.append(sel.table)
-        need_probe = [
-            t for t in tables_with_vis
-            if t != bound.anchor and override is None
-        ]
-        selectivities = self._estimate_selectivities(bound, need_probe)
+        tables_with_vis = self._vis_tables(bound)
+        free_tables = [t for t in tables_with_vis if t != bound.anchor]
+
+        report: Optional[CostReport] = None
+        chosen: Dict[str, Choice] = {}
+        if override is None and free_tables:
+            report = self._optimize(bound, free_tables, cross, mode)
+            chosen = dict(report.chosen.assignment)
+
         for table in tables_with_vis:
-            use_cross = (self._cross_available(bound, table)
-                         if cross is None else
-                         (cross and self._cross_available(bound, table)))
+            cross_ok = self._cross_available(bound, table)
             if table == bound.anchor:
-                # anchor Vis IDs are anchor IDs already: plain merge input
-                vis_plans[table] = VisPlan(table, VisStrategy.PRE, use_cross)
+                # anchor Vis IDs are anchor IDs already: plain merge
+                # input.  Cost-based plans skip the redundant anchor
+                # Cross pass (Merge intersects the same sublists anyway);
+                # explicit ``cross=True`` keeps it for the paper's
+                # fixed-strategy experiments.
+                if override is not None:
+                    use_cross = (cross_ok if cross is None
+                                 else (cross and cross_ok))
+                else:
+                    use_cross = bool(cross) and cross_ok
+                vis_plans[table] = VisPlan(table, VisStrategy.PRE,
+                                           use_cross)
                 continue
             if override is not None:
+                use_cross = (cross_ok if cross is None
+                             else (cross and cross_ok))
                 vis_plans[table] = VisPlan(table, override, use_cross)
                 continue
-            vis_plans[table] = VisPlan(
-                table, self._auto_strategy(selectivities[table]), use_cross
-            )
+            choice = chosen[table]
+            vis_plans[table] = VisPlan(table, choice.strategy,
+                                       choice.cross)
         self.plans_built += 1
         return QueryPlan(
-            bound=bound, vis_plans=vis_plans,
-            projection_mode=_coerce_mode(projection),
+            bound=bound, vis_plans=vis_plans, projection_mode=mode,
+            cost_report=report,
         )

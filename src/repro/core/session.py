@@ -63,18 +63,24 @@ def plan_key(sql: str, vis_strategy: StrategyLike, cross: Optional[bool],
     )
 
 
-#: per-table data generations a cached plan was computed against
-GenSnapshot = Tuple[Tuple[str, int], ...]
+#: per-table ``(data, stats)`` generation pairs a cached plan was
+#: computed against
+GenSnapshot = Tuple[Tuple[str, Tuple[int, int]], ...]
 
 
 class PlanCache:
     """A bounded LRU cache of query plans with hit/miss accounting.
 
-    Entries carry the per-table *data generations* they were planned
-    against.  A lookup that passes the current generations drops (and
-    counts as a miss) any entry whose tables have since been mutated
-    by DML -- so an INSERT into ``Patients`` invalidates only plans
-    touching ``Patients``, never a cached ``Doctors``-only plan.
+    Entries carry the per-table *(data, stats) generations* they were
+    planned against.  A lookup that passes the current generations
+    drops (and counts as a miss) any entry whose tables have since
+    been mutated by DML or whose statistics were refreshed -- so an
+    INSERT into ``Patients`` invalidates only plans touching
+    ``Patients``, never a cached ``Doctors``-only plan, and a stats
+    change that could flip a cost-based strategy choice invalidates
+    exactly like a data change.  ``GhostDB.rebuild()`` relies on the
+    same mechanism: it bumps the generations of the tables mutated
+    since the last build instead of flushing the cache globally.
     """
 
     def __init__(self, capacity: int = 64):

@@ -196,6 +196,22 @@ class ClimbingIndex:
         """Entries appended since the bulk build."""
         return len(self._delta)
 
+    @property
+    def delta_log_pages(self) -> int:
+        """Flash pages an exhaustive delta-log scan touches (cost model)."""
+        if self._delta_file is None:
+            return 0
+        return self._delta_file.n_pages
+
+    @property
+    def delta_bloom_fp(self) -> float:
+        """Expected false-positive rate of the delta-key Bloom filter:
+        the probability an equality lookup scans the delta log for a
+        key that was never appended (cost-model input)."""
+        if self._delta_bloom is None:
+            return 0.0
+        return self._delta_bloom.expected_fp_rate
+
     def append(self, value, own_id: int) -> None:
         """Record one newly inserted ``(value, levels[0]-id)`` pair.
 

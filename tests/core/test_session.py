@@ -162,7 +162,10 @@ def test_sessions_have_isolated_caches():
 # rebuild invalidation
 # ---------------------------------------------------------------------------
 
-def test_rebuild_invalidates_plan_caches():
+def test_rebuild_keeps_plans_of_untouched_tables():
+    """An identity rebuild (no DML since build) must not flush the
+    cache: invalidation is routed through per-table generations, and
+    untouched tables' generations carry across the rebuild."""
     db = make_db()
     session = db.session()
     sql = "SELECT C.id FROM C WHERE C.h = 1"
@@ -170,11 +173,49 @@ def test_rebuild_invalidates_plan_caches():
     assert len(session.plan_cache) == 1
     db.rebuild()
     assert db.generation == 1
-    assert len(session.plan_cache) == 0
-    assert session.plan_cache.invalidations == 1
+    assert len(session.plan_cache) == 1
+    assert session.plan_cache.invalidations == 0
     again = session.query(sql)
     assert sorted(again.rows) == sorted(first.rows)
-    assert session.plan_cache.misses == 2
+    assert session.plan_cache.hits == 1
+    assert session.plan_cache.misses == 1
+
+
+def test_rebuild_stale_drops_only_mutated_tables():
+    """Regression (PR-3 satellite): rebuild() after DML used to flush
+    every session's plan cache globally; now only plans touching the
+    mutated tables stale-drop, selectively, on their next lookup."""
+    db = make_db()
+    session = db.session()
+    c_sql = "SELECT C.id FROM C WHERE C.h = 1"
+    p_sql = "SELECT P.id FROM P WHERE P.h = 2"
+    session.query(c_sql)
+    session.query(p_sql)
+    db.execute("INSERT INTO P VALUES (0, 99, 2)")
+    session.query(p_sql)                   # refresh P's entry post-DML
+    assert session.plan_cache.stale_drops == 1
+
+    db.rebuild()                           # compacts P; C is untouched
+    assert session.plan_cache.invalidations == 0
+    assert len(session.plan_cache) == 2    # nothing flushed eagerly
+
+    session.query(c_sql)                   # untouched table: cache hit
+    assert session.plan_cache.hits == 1
+    result = session.query(p_sql)          # mutated table: stale-drop
+    assert session.plan_cache.stale_drops == 2
+    _, expected = db.reference_query(p_sql)
+    assert sorted(result.rows) == sorted(expected)
+
+
+def test_rebuild_with_new_indexes_still_flushes_globally():
+    """Changing indexed_columns can invalidate any plan's assumptions,
+    so that path keeps the global flush."""
+    db = make_db()
+    session = db.session()
+    session.query("SELECT C.id FROM C WHERE C.h = 1")
+    db.rebuild(indexed_columns={"C": ("h",), "P": ("h",)})
+    assert session.plan_cache.invalidations == 1
+    assert len(session.plan_cache) == 0
 
 
 def test_rebuild_preserves_data_and_statements():
