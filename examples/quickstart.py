@@ -98,6 +98,20 @@ def main() -> None:
           f"{db.catalog.live_rows('Patients')} live rows remain")
     assert db.execute(sql).rows == []
 
+    # ranked retrieval: ORDER BY / LIMIT run entirely on the token --
+    # hidden sort keys never cross the channel.  The planner chooses
+    # between a RAM-bounded external sort, a bounded top-k heap and a
+    # climbing-index-order scan; EXPLAIN shows the decision.
+    topk_sql = ("SELECT Patients.id, Patients.bodymassindex "
+                "FROM Patients WHERE age > 60 "
+                "ORDER BY bodymassindex DESC LIMIT 5")
+    print()
+    print("top-k plan:")
+    print(db.explain(topk_sql))
+    topk = db.execute(topk_sql)
+    print(f"5 highest-BMI patients over 60: {topk.rows}")
+    assert topk.rows == db.reference_query(topk_sql)[1]
+
     # repeated templates: prepare once, execute many.  The plan is
     # computed on the first execution only, and query_many amortizes
     # the Secure -> Untrusted round trips across the whole batch.

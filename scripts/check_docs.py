@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Docs CI gate: intra-repo markdown links must resolve, examples must run.
+
+Two checks, both simple on purpose:
+
+* every relative link target in a tracked ``*.md`` file (README.md,
+  docs/, CHANGES.md, ...) must exist on disk -- links to headings
+  (``path#anchor``) are checked for the file part;
+* with ``--run-examples``, every script under ``examples/`` is executed
+  with ``PYTHONPATH=src`` and must exit 0.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_docs.py [--run-examples]
+
+Exits non-zero listing every broken link / failing example.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: markdown inline links: [text](target); images share the syntax
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: targets that are not repo files
+_EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown_files() -> list:
+    """All tracked markdown files (skip caches and virtualenvs)."""
+    out = []
+    for path in sorted(REPO.rglob("*.md")):
+        parts = path.relative_to(REPO).parts
+        if any(p.startswith(".") or p in ("__pycache__", "node_modules")
+               for p in parts[:-1]):
+            continue
+        out.append(path)
+    return out
+
+
+def broken_links() -> list:
+    """Every (file, target) whose relative link resolves nowhere."""
+    broken = []
+    for md in iter_markdown_files():
+        text = md.read_text()
+        # fenced code blocks routinely contain (parenthesised) pseudo
+        # links; strip them before matching
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            if not (md.parent / file_part).exists():
+                broken.append((md.relative_to(REPO), target))
+    return broken
+
+
+def run_examples() -> list:
+    """Run every examples/ script; returns the ones that failed."""
+    failed = []
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    for script in sorted((REPO / "examples").glob("*.py")):
+        print(f"running {script.relative_to(REPO)} ...", flush=True)
+        proc = subprocess.run(
+            [sys.executable, str(script)], env=env, cwd=REPO,
+            capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            failed.append((script.relative_to(REPO), proc.stderr[-2000:]))
+    return failed
+
+
+def main(argv: list) -> int:
+    ok = True
+    broken = broken_links()
+    for md, target in broken:
+        print(f"BROKEN LINK {md}: ({target})")
+        ok = False
+    if not broken:
+        print(f"links ok across {len(iter_markdown_files())} markdown "
+              f"file(s)")
+    if "--run-examples" in argv:
+        for script, stderr in run_examples():
+            print(f"EXAMPLE FAILED {script}:\n{stderr}")
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,14 +1,15 @@
 #!/usr/bin/env python
 """Fold a pytest-benchmark JSON dump into the perf-trajectory point.
 
-The CI perf-smoke job runs ``benchmarks/test_fig10_pre_vs_post.py``
-and ``benchmarks/test_fig14_throughput.py`` with
+The CI perf-smoke job runs ``benchmarks/test_fig10_pre_vs_post.py``,
+``benchmarks/test_fig14_throughput.py`` and
+``benchmarks/test_sort_topk.py`` with
 ``--benchmark-json=bench_raw.json`` and then calls::
 
-    python scripts/perf_smoke_report.py bench_raw.json BENCH_pr3.json
+    python scripts/perf_smoke_report.py bench_raw.json BENCH_pr4.json
 
-The emitted file carries wall-clock timings of the two figure drivers
-plus the simulated-time tables they captured under ``results/`` -- one
+The emitted file carries wall-clock timings of the figure drivers plus
+the simulated-time tables they captured under ``results/`` -- one
 comparable point per PR, so regressions in either real or simulated
 time show up as a broken trajectory.
 """
@@ -20,7 +21,8 @@ import pathlib
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-TABLES = ("fig10_pre_vs_post", "fig14_throughput")
+PR = 4
+TABLES = ("fig10_pre_vs_post", "fig14_throughput", "sort_topk")
 
 
 def main(raw_path: str, out_path: str) -> None:
@@ -42,7 +44,7 @@ def main(raw_path: str, out_path: str) -> None:
     machine = raw.get("machine_info", {})
     report = {
         "schema": "ghostdb-perf-smoke/1",
-        "pr": 3,
+        "pr": PR,
         "python": machine.get("python_version"),
         "machine": machine.get("cpu", {}).get("brand_raw"),
         "benchmarks": benchmarks,

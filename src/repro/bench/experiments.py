@@ -14,14 +14,16 @@ set; shapes, orderings and crossover points are preserved.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.ghostdb import GhostDB
+from repro.errors import PlanError
 from repro.index.sizing import IndexSizingModel, TableSpec
 from repro.workloads.medical import (
     MedicalConfig,
     PAPER_CARDINALITIES as MEDICAL_CARDS,
     build_medical,
+    top_k_bmi_query,
 )
 from repro.workloads.queries import (
     medical_query_q,
@@ -46,10 +48,12 @@ MED_SCALE = float(os.environ.get("GHOSTDB_BENCH_MED_SCALE", "0.01"))
 
 
 def build_bench_synthetic() -> GhostDB:
+    """The synthetic data set at the benchmark scale."""
     return build_synthetic(SyntheticConfig(scale=SYN_SCALE))
 
 
 def build_bench_medical() -> GhostDB:
+    """The medical data set at the benchmark scale."""
     return build_medical(MedicalConfig(scale=MED_SCALE))
 
 
@@ -99,6 +103,7 @@ def synthetic_sizing_model() -> IndexSizingModel:
 
 
 def real_sizing_model() -> IndexSizingModel:
+    """Paper-scale medical schema for the analytic sizing model."""
     return IndexSizingModel([
         TableSpec("Measurements", MEDICAL_CARDS["Measurements"], None,
                   [10, 10, 100], []),
@@ -149,6 +154,7 @@ def fig8_cross_filtering(db: GhostDB,
 def fig9_crosspre_vs_crosspost(db: GhostDB,
                                sv_grid: Sequence[float] = SV_GRID
                                ) -> List[Dict]:
+    """Cross-Pre vs Cross-Post across the Visible selectivity grid."""
     rows = []
     for sv in sv_grid:
         sql = query_q(sv)
@@ -295,6 +301,52 @@ def fig13_project_crosspost(db: GhostDB,
     """Projection algorithms under a Cross-Post-Filter execution
     (exercises Bloom false-positive elimination)."""
     return _projection_rows(db, "post", sv_grid)
+
+
+# ---------------------------------------------------------------------------
+# ordering: external sort vs top-k heap vs index order (PR-4 subsystem)
+# ---------------------------------------------------------------------------
+
+#: LIMIT sweep for the ranked-retrieval experiment; None = full ranking
+TOPK_GRID: Sequence[Optional[int]] = (1, 10, 100, None)
+
+ORDER_METHODS = ("external-sort", "top-k-heap", "index-order")
+
+
+def sort_topk(db: GhostDB,
+              k_grid: Sequence[Optional[int]] = TOPK_GRID) -> List[Dict]:
+    """Ordered retrieval cost per execution method across LIMIT k.
+
+    Runs the medical top-k BMI query with each ordering method forced
+    (methods a query cannot use -- e.g. top-k without a LIMIT -- report
+    ``-``), plus the cost-based pick, asserting every method returns
+    oracle-identical rows.  The row set mirrors the strategy figures:
+    one row per ``k``, one column per method, ``auto_pick`` recording
+    the optimizer's choice.
+    """
+    rows = []
+    for k in k_grid:
+        sql = top_k_bmi_query(k)
+        expected = db.reference_query(sql)[1]
+        row: Dict = {"k": k if k is not None else "all"}
+        for method in ORDER_METHODS:
+            try:
+                result = db.execute(sql, order_method=method)
+            except PlanError:
+                row[method] = "-"
+                continue
+            if result.rows != expected:
+                raise AssertionError(
+                    f"{method} at k={k}: rows diverge from the oracle"
+                )
+            row[method] = result.stats.total_s
+        auto = db.execute(sql)
+        if auto.rows != expected:
+            raise AssertionError(f"auto order plan at k={k} diverges")
+        row["Auto"] = auto.stats.total_s
+        row["auto_pick"] = auto.plan.order.method.value
+        rows.append(row)
+    return rows
 
 
 # ---------------------------------------------------------------------------

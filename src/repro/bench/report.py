@@ -62,6 +62,7 @@ def build_registry() -> Dict[str, tuple]:
 
 
 def main(argv: List[str] | None = None) -> int:
+    """Regenerate the requested experiment tables under results/."""
     argv = sys.argv[1:] if argv is None else argv
     registry = build_registry()
     wanted = argv or list(registry)
@@ -74,7 +75,7 @@ def main(argv: List[str] | None = None) -> int:
     RESULTS_DIR.mkdir(exist_ok=True)
     databases: Dict[str, object] = {}
 
-    def get_db(kind: str):
+    def _get_db(kind: str):
         if kind not in databases:
             print(f"[building {kind} database "
                   f"(scale={'%.3f' % (exp.SYN_SCALE if kind == 'syn' else exp.MED_SCALE)})...]")
@@ -86,7 +87,7 @@ def main(argv: List[str] | None = None) -> int:
     for name in wanted:
         needs, runner, title = registry[name]
         start = time.time()
-        rows = runner(get_db(needs)) if needs else runner(None)
+        rows = runner(_get_db(needs)) if needs else runner(None)
         wall = time.time() - start
         text = exp.format_table(rows, title)
         (RESULTS_DIR / f"report_{name}.txt").write_text(text + "\n")

@@ -27,7 +27,17 @@ def effective_projections(bound: BoundQuery) -> Tuple[BoundColumn, ...]:
 def apply_aggregates(bound: BoundQuery, proj_columns: Sequence[BoundColumn],
                      rows: Sequence[Tuple]
                      ) -> Tuple[List[str], List[Tuple]]:
-    """Fold projected rows into aggregate results."""
+    """Fold projected rows into aggregate results.
+
+    ``proj_columns`` names the positions of ``rows``' columns (the
+    effective projections).  Output columns are the GROUP BY columns
+    followed by the aggregates in declaration order; groups come out
+    sorted by their key.  Empty input follows SQL semantics: with
+    GROUP BY it yields no rows, without it it yields the single global
+    group -- ``COUNT`` 0, every other aggregate ``None``.  Hidden
+    columns need no special casing: aggregation runs on the token
+    after projection, so hidden values never cross the channel.
+    """
     col_pos = {col: i for i, col in enumerate(proj_columns)}
     group_pos = [col_pos[c] for c in bound.group_by]
     names = [str(c) for c in bound.group_by]

@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.catalog import SecureCatalog
-from repro.core.plan import ProjectionMode, VisStrategy
+from repro.core.plan import ProjectionMode, SortMethod, VisStrategy
+from repro.errors import PlanError
 from repro.hardware.token import SecureToken
 from repro.index.bloom import DEFAULT_HASHES, false_positive_rate
 from repro.index.climbing import ClimbingIndex
@@ -143,6 +144,57 @@ class CostReport:
                 line += "  infeasible (RAM)"
             elif show_measured and cand.measured_s is not None:
                 line += f"  measured {cand.measured_s:9.4f}s"
+            if cand.chosen:
+                line += "  <- chosen"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+@dataclass
+class OrderEstimate:
+    """Predicted cost of one ORDER BY execution method."""
+
+    method: SortMethod
+    total_us: float = 0.0
+    ram_peak: int = 0
+    n_runs: int = 0
+    infeasible: bool = False
+    note: str = ""
+    chosen: bool = False
+
+    @property
+    def total_s(self) -> float:
+        return self.total_us / 1e6
+
+
+@dataclass
+class OrderReport:
+    """Every ordering method the planner weighed for one query.
+
+    Attached to :class:`~repro.core.plan.OrderPlan` and rendered by
+    ``EXPLAIN`` below the strategy candidates.
+    """
+
+    candidates: List[OrderEstimate]
+    est_rows: float
+
+    @property
+    def chosen(self) -> Optional[OrderEstimate]:
+        for cand in self.candidates:
+            if cand.chosen:
+                return cand
+        return None
+
+    def describe(self) -> str:
+        lines = [f"order candidates (est {self.est_rows:.0f} rows):"]
+        for cand in sorted(self.candidates,
+                           key=lambda c: (c.infeasible, c.total_us)):
+            line = (f"  {cand.method.value:<14s} est {cand.total_s:9.4f}s"
+                    f"  ram {cand.ram_peak:>6d}B")
+            if cand.n_runs > 1:
+                line += f"  ({cand.n_runs} runs)"
+            if cand.note:
+                line += f"  {cand.note}"
             if cand.chosen:
                 line += "  <- chosen"
             lines.append(line)
@@ -571,6 +623,123 @@ class CostModel:
             if image is not None and image.heap is not None:
                 acc.flash("Project", self._pages_touched(
                     count, image.heap.file.n_pages) * self._t_node())
+
+    # ------------------------------------------------------------------
+    # result cardinality (run-count input for the ordering step)
+    # ------------------------------------------------------------------
+    def estimate_result_rows(self, bound: BoundQuery) -> float:
+        """Expected result rows: live anchors times every selectivity
+        (attribute-independence, same as the strategy estimators)."""
+        return (self._live(bound.anchor)
+                * self._sel(list(bound.selections)))
+
+    def estimate_group_rows(self, bound: BoundQuery) -> float:
+        """Expected output groups of an aggregate query: the product of
+        the GROUP BY columns' distinct-value sketches, capped by the
+        pre-aggregation row estimate."""
+        groups = 1.0
+        for col in bound.group_by:
+            stats = self.catalog.stats.get(col.table)
+            distinct = (stats.distinct(col.column.name)
+                        if stats is not None else None)
+            groups *= distinct if distinct else self._live(col.table)
+        return max(1.0, min(groups, self.estimate_result_rows(bound)))
+
+    # ------------------------------------------------------------------
+    # the ordering step (external sort / top-k heap / index order)
+    # ------------------------------------------------------------------
+    def estimate_order(self, bound: BoundQuery,
+                       index: Optional[ClimbingIndex] = None
+                       ) -> OrderReport:
+        """Price every way to execute the query's ORDER BY / LIMIT.
+
+        Requires a non-empty ORDER BY (the planner handles key-less
+        LIMIT/OFFSET as a plain TRUNCATE without costing it).
+        ``index`` is the usable climbing index on the (single) ORDER BY
+        key, or ``None`` -- availability is the planner's call (delta
+        logs and fk deltas break value order).  Run counts derive from
+        the statistics catalog's cardinality estimates.
+        """
+        from repro.core.sort import SortKeyCodec
+
+        if not bound.order_by:
+            raise PlanError("estimate_order needs ORDER BY keys")
+        n_rows = (self.estimate_group_rows(bound) if bound.is_aggregate
+                  else self.estimate_result_rows(bound))
+        candidates: List[OrderEstimate] = []
+        capacity = self.token.ram.capacity
+        entry = SortKeyCodec(bound.order_by).entry_bytes
+        words = entry // 4
+
+        # ---- external merge sort (always available) ----------------
+        chunk_bytes = max(entry, capacity - 2 * self.page)
+        per_chunk = max(1, chunk_bytes // entry)
+        n_runs = math.ceil(max(1.0, n_rows) / per_chunk)
+        ext = OrderEstimate(SortMethod.EXTERNAL, n_runs=n_runs)
+        if n_runs <= 1:
+            ext.ram_peak = round(min(chunk_bytes, max(1.0, n_rows) * entry))
+        else:
+            total_words = round(n_rows) * words
+            ext.total_us = (self._t_ids_write(total_words)
+                            + self._t_ids_read(total_words))
+            budget = max(1, self.token.ram.n_buffers - 2)
+            if n_runs > budget:
+                # reduction passes: the sorter folds ~max(2, budget-1)
+                # runs per pass (smallest first), rewriting the data
+                # once per level -- with 2-way folds (tiny budgets)
+                # that is ~log2(n_runs) rewrites, which dominates
+                # exactly where RAM is scarcest
+                fold = max(2, budget - 1)
+                levels = math.ceil(math.log(n_runs / budget)
+                                   / math.log(fold))
+                ext.total_us += levels * (self._t_ids_read(total_words)
+                                          + self._t_ids_write(total_words))
+            ext.ram_peak = round(chunk_bytes + self.page)
+            if self.token.ram.n_buffers < 3:
+                # merging spilled runs holds >= 2 open-run buffers plus
+                # the output builder's; a 2-buffer token cannot run it
+                ext.infeasible = True
+                ext.note = "(merge needs 3 page buffers)"
+        candidates.append(ext)
+
+        # ---- bounded top-k heap (needs a LIMIT that fits RAM) -------
+        if bound.limit is not None:
+            k = bound.offset + bound.limit
+            ram = k * entry
+            topk = OrderEstimate(SortMethod.TOP_K, ram_peak=ram)
+            # the heap holds no page buffers, only its records; one
+            # page of slack keeps it viable on 2-buffer tokens
+            if ram > capacity - self.page:
+                topk.infeasible = True
+                topk.note = "(LIMIT exceeds secure RAM)"
+            candidates.append(topk)
+        else:
+            candidates.append(OrderEstimate(
+                SortMethod.TOP_K, infeasible=True, note="(no LIMIT)"))
+
+        # ---- index-order scan (sort avoidance) ---------------------
+        if index is not None:
+            scan = OrderEstimate(SortMethod.INDEX_ORDER)
+            n_anchor = self._live(bound.anchor)
+            k = (bound.offset + bound.limit if bound.limit is not None
+                 else None)
+            fraction = (min(1.0, k / max(1.0, n_rows)) if k is not None
+                        else 1.0)
+            scan.total_us = (
+                fraction * index.btree.n_leaves
+                * self._leaf_read_us(index.btree)
+                + self._t_ids_read(round(fraction * n_anchor))
+            )
+            scan.ram_peak = round(min(capacity, n_rows * 8 + 2 * self.page))
+            if n_rows * 8 + 2 * self.page > capacity:
+                scan.infeasible = True
+                scan.note = "(id map exceeds secure RAM)"
+            candidates.append(scan)
+        else:
+            candidates.append(OrderEstimate(
+                SortMethod.INDEX_ORDER, infeasible=True,
+                note="(no usable index)"))
+        return OrderReport(candidates, n_rows)
 
     def _estimate_brute_force(self, acc: _Acc, bound: BoundQuery,
                               per_table: Dict[str, Dict[str, List]],

@@ -85,6 +85,8 @@ class QueryStats:
 
 @dataclass
 class QueryResult:
+    """One executed SELECT: column names, rows, costs and the plan."""
+
     columns: List[str]
     rows: List[Tuple]
     stats: QueryStats

@@ -64,10 +64,12 @@ from repro.core.executor import QepSjExecutor, QueryResult, QueryStats
 from repro.core.loader import Loader
 from repro.core.operators import ExecContext
 from repro.core.plan import ProjectionMode, QueryPlan, VisPlan
-from repro.core.planner import Planner, StrategyLike
+from repro.core.planner import Planner, SortMethodLike, StrategyLike
 from repro.core.project import ProjectionExecutor
 from repro.core.reference import ReferenceEngine
 from repro.core.session import BatchResult, PreparedStatement, Session
+from repro.core.sort import (OrderByExecutor, dedup_rows, sort_projections,
+                             strip_internal_columns)
 from repro.errors import BindError, GhostDBError, SchemaError
 from repro.hardware.token import SecureToken, TokenConfig
 from repro.schema.ddl import column_from_def, table_from_sql
@@ -107,6 +109,7 @@ class GhostDB:
                 vis_strategy: StrategyLike = None,
                 cross: Optional[bool] = None,
                 projection: Union[str, ProjectionMode] = "project",
+                order_method: SortMethodLike = None,
                 ) -> Union[QueryResult, DmlResult, None]:
         """Execute one SQL statement of any supported kind.
 
@@ -126,6 +129,14 @@ class GhostDB:
         from ``params``.
         """
         parsed = parse(sql)
+        if not isinstance(parsed, ast.SelectQuery) and \
+                order_method is not None:
+            # a forced ordering method on a statement that cannot sort
+            # must raise, never be silently dropped
+            raise BindError(
+                f"order_method {order_method!r} applies to SELECT "
+                f"statements only"
+            )
         if isinstance(parsed, ast.CreateTable):
             if params:
                 raise BindError("DDL statements take no parameters")
@@ -137,7 +148,7 @@ class GhostDB:
             self._require_built()
             return self._session_default().query(
                 sql, params, vis_strategy, cross, projection,
-                parsed=parsed,
+                order_method=order_method, parsed=parsed,
             )
         self._finalize_schema()
         if isinstance(parsed, ast.InsertStatement):
@@ -207,7 +218,8 @@ class GhostDB:
         """
         warnings.warn(
             "GhostDB.execute_ddl() is deprecated; use "
-            "GhostDB.execute(sql) instead",
+            "GhostDB.execute(sql) instead -- see 'Migrating to "
+            "db.execute()' in docs/ARCHITECTURE.md",
             DeprecationWarning, stacklevel=2,
         )
         self._register_table(table_from_sql(sql))
@@ -261,19 +273,21 @@ class GhostDB:
     # ------------------------------------------------------------------
     def _bind(self, sql: str, parsed: Optional[ast.SelectQuery] = None):
         """Bind ``sql`` (or its already-parsed AST), normalizing
-        aggregate projections."""
+        aggregate projections and appending the ordering step's
+        internal sort columns."""
         bound = (self._binder.bind(parsed, sql) if parsed is not None
                  else self._binder.bind_sql(sql))
         if bound.is_aggregate:
             bound = dataclasses.replace(
                 bound, projections=effective_projections(bound)
             )
-        return bound
+        return sort_projections(bound, self.schema)
 
     def plan_query(self, sql: str,
                    vis_strategy: StrategyLike = None,
                    cross: Optional[bool] = None,
                    projection: Union[str, ProjectionMode] = "project",
+                   order_method: SortMethodLike = None,
                    ) -> QueryPlan:
         """Bind and plan without executing."""
         self._require_built()
@@ -283,7 +297,8 @@ class GhostDB:
                 f"statement has {bound.param_count} unbound ? "
                 f"placeholder(s): use prepare() and execute(params)"
             )
-        return self._planner.plan(bound, vis_strategy, cross, projection)
+        return self._planner.plan(bound, vis_strategy, cross, projection,
+                                  order_method)
 
     def explain(self, sql: str, analyze: bool = False, **kwargs) -> str:
         """Human-readable plan description.
@@ -332,7 +347,8 @@ class GhostDB:
         """
         warnings.warn(
             "GhostDB.query() is deprecated; use GhostDB.execute(sql) "
-            "instead",
+            "instead -- see 'Migrating to db.execute()' in "
+            "docs/ARCHITECTURE.md",
             DeprecationWarning, stacklevel=2,
         )
         self._require_built()
@@ -376,6 +392,11 @@ class GhostDB:
         if plan.bound.is_aggregate:
             names, rows = apply_aggregates(plan.bound,
                                            plan.bound.projections, rows)
+        elif plan.bound.distinct:
+            rows = dedup_rows(rows)
+        if plan.order is not None:
+            rows = OrderByExecutor(ctx, plan.order).execute(rows)
+        names, rows = strip_internal_columns(plan.bound, names, rows)
         after = self.token.ledger.snapshot()
         stats = self._stats_between(before, after, rows)
         stats.bytes_to_secure = ch.bytes_to_secure - in_before
@@ -449,6 +470,7 @@ class GhostDB:
                 vis_strategy: StrategyLike = None,
                 cross: Optional[bool] = None,
                 projection: Union[str, ProjectionMode] = "project",
+                order_method: SortMethodLike = None,
                 ) -> PreparedStatement:
         """Bind ``sql`` once for repeated execution.
 
@@ -460,7 +482,7 @@ class GhostDB:
         """
         self._require_built()
         return self._session_default().prepare(sql, vis_strategy, cross,
-                                               projection)
+                                               projection, order_method)
 
     def query_many(self,
                    sql: Union[str, Sequence[str]],

@@ -167,7 +167,7 @@ class MergeOperator:
             leaf_iters.extend(its)
             union_iters.append(_dedupe(heapq.merge(*its)))
 
-        def run() -> Iterator[int]:
+        def _run() -> Iterator[int]:
             inner = intersect_iters(union_iters)
             try:
                 while True:
@@ -183,7 +183,7 @@ class MergeOperator:
                 # free the buffers of any leaf not read to exhaustion
                 _close_all(leaf_iters)
 
-        return run()
+        return _run()
 
     def to_flash(self, groups: Sequence[Sequence[IdRun]],
                  reserve_buffers: int = 0):

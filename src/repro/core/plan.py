@@ -23,16 +23,18 @@ from __future__ import annotations
 import dataclasses
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
 
-from repro.sql.binder import BoundQuery
+from repro.sql.binder import BoundOrderItem, BoundQuery
 from repro.storage.runs import U32View
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.costmodel import CostReport
+    from repro.core.costmodel import CostReport, OrderReport
 
 
 class VisStrategy(enum.Enum):
+    """The paper's four strategies for one visible selection."""
+
     PRE = "pre"
     POST = "post"
     POST_SELECT = "post-select"
@@ -48,6 +50,7 @@ class VisPlan:
     cross: bool = False
 
     def describe(self) -> str:
+        """The strategy's display name, e.g. ``Cross-Pre-Filter``."""
         prefix = "Cross-" if self.cross else ""
         names = {
             VisStrategy.PRE: "Pre-Filter",
@@ -59,9 +62,70 @@ class VisPlan:
 
 
 class ProjectionMode(enum.Enum):
+    """Projection algorithm variants (paper Figures 12/13)."""
+
     PROJECT = "project"          # the paper's Project algorithm (Fig. 5)
     PROJECT_NOBF = "project-nobf"  # Project without Bloom pre-filtering
     BRUTE_FORCE = "brute-force"  # random accesses per QEPSJ result row
+
+
+class SortMethod(enum.Enum):
+    """How an ``ORDER BY`` / ``LIMIT`` clause is executed on the token.
+
+    * ``EXTERNAL`` -- RAM-bounded external merge sort: value-ordered
+      record runs spilled to flash, merged under the paper's
+      one-buffer-per-open-run accounting.
+    * ``TOP_K``   -- a bounded heap of the best ``offset+limit`` records
+      held entirely in (accounted) secure RAM; chosen when the LIMIT is
+      small enough to fit.
+    * ``INDEX_ORDER`` -- sort avoidance: the ORDER BY key's climbing
+      index is scanned in value order and result rows are emitted as
+      their ids appear; no sort at all, and LIMIT stops the scan early.
+    * ``TRUNCATE`` -- plain ``LIMIT``/``OFFSET`` with no ORDER BY: the
+      result (already in anchor-id order) is sliced.
+    """
+
+    EXTERNAL = "external-sort"
+    TOP_K = "top-k-heap"
+    INDEX_ORDER = "index-order"
+    TRUNCATE = "truncate"
+
+
+@dataclass
+class OrderPlan:
+    """The decided ordering step of one query plan.
+
+    ``key_positions`` locate the ORDER BY values inside the (possibly
+    internally extended) projected row; ``aid_position`` locates the
+    anchor id that :class:`~repro.core.sort.IndexOrderScan` maps result
+    rows by.  For ``INDEX_ORDER``, ``index_table``/``index_column``
+    name the climbing index whose value order is reused.
+    """
+
+    keys: Tuple[BoundOrderItem, ...]
+    method: SortMethod
+    limit: Optional[int] = None
+    offset: int = 0
+    key_positions: Tuple[int, ...] = ()
+    aid_position: Optional[int] = None
+    index_table: Optional[str] = None
+    index_column: Optional[str] = None
+    #: per-method estimates when the planner chose cost-based
+    report: Optional["OrderReport"] = None
+
+    def describe(self) -> str:
+        """One ``EXPLAIN`` line: keys, bounds and the chosen method."""
+        parts = []
+        if self.keys:
+            parts.append("by " + ", ".join(k.describe() for k in self.keys))
+        if self.limit is not None:
+            parts.append(f"limit {self.limit}")
+        if self.offset:
+            parts.append(f"offset {self.offset}")
+        line = f"order: {' '.join(parts)} -> {self.method.value}"
+        if self.method is SortMethod.INDEX_ORDER:
+            line += f" ({self.index_table}.{self.index_column})"
+        return line
 
 
 @dataclass
@@ -71,6 +135,8 @@ class QueryPlan:
     bound: BoundQuery
     vis_plans: Dict[str, VisPlan] = field(default_factory=dict)
     projection_mode: ProjectionMode = ProjectionMode.PROJECT
+    #: how ORDER BY / LIMIT are applied (None when the query has none)
+    order: Optional[OrderPlan] = None
     #: candidate costs when the planner chose cost-based (None when a
     #: strategy override forced the decision)
     cost_report: Optional["CostReport"] = None
@@ -97,8 +163,12 @@ class QueryPlan:
         for table, vp in self.vis_plans.items():
             lines.append(f"visible {table}: {vp.describe()}")
         lines.append(f"projection: {self.projection_mode.value}")
+        if self.order is not None:
+            lines.append(self.order.describe())
         if self.cost_report is not None and self.cost_report.candidates:
             lines.append(self.cost_report.describe())
+        if self.order is not None and self.order.report is not None:
+            lines.append(self.order.report.describe())
         return "\n".join(lines)
 
 

@@ -33,8 +33,16 @@ from repro.core.costmodel import (
     CostModel,
     CostReport,
 )
-from repro.core.plan import ProjectionMode, QueryPlan, VisPlan, VisStrategy
+from repro.core.plan import (
+    OrderPlan,
+    ProjectionMode,
+    QueryPlan,
+    SortMethod,
+    VisPlan,
+    VisStrategy,
+)
 from repro.errors import PlanError
+from repro.index.climbing import ClimbingIndex
 from repro.sql.binder import BoundQuery
 from repro.untrusted.server import VisServer
 
@@ -43,6 +51,7 @@ from repro.untrusted.server import VisServer
 MAX_ASSIGNMENTS = 256
 
 StrategyLike = Union[str, VisStrategy, None]
+SortMethodLike = Union[str, SortMethod, None]
 
 
 def _coerce_strategy(value: StrategyLike) -> Optional[VisStrategy]:
@@ -66,6 +75,18 @@ def _coerce_mode(value: Union[str, ProjectionMode]) -> ProjectionMode:
         names = [m.value for m in ProjectionMode]
         raise PlanError(
             f"unknown projection mode {value!r}; expected one of {names}"
+        ) from None
+
+
+def _coerce_sort_method(value: SortMethodLike) -> Optional[SortMethod]:
+    if value is None or isinstance(value, SortMethod):
+        return value
+    try:
+        return SortMethod(value)
+    except ValueError:
+        names = [m.value for m in SortMethod]
+        raise PlanError(
+            f"unknown order method {value!r}; expected one of {names}"
         ) from None
 
 
@@ -174,10 +195,115 @@ class Planner:
         return [tuple(sorted(decided.items()))]
 
     # ------------------------------------------------------------------
+    # the ordering step
+    # ------------------------------------------------------------------
+    def _order_index(self, bound: BoundQuery) -> Optional[ClimbingIndex]:
+        """The climbing index whose value order can serve the ORDER BY.
+
+        Usable only when the (single) key column carries an index whose
+        levels reach the anchor, *and* no DML has appended entries the
+        value-ordered runs do not cover: a non-empty delta log, or fk
+        deltas on any level below the anchor, break index order.
+        """
+        if len(bound.order_by) != 1 or bound.is_aggregate \
+                or bound.distinct:
+            return None
+        key = bound.order_by[0].column
+        index = self.catalog.attr_indexes.get((key.table, key.column.name))
+        if index is None or bound.anchor not in index.levels:
+            return None
+        if index.delta_entries:
+            return None
+        anchor_pos = index.levels.index(bound.anchor)
+        for level in index.levels[:anchor_pos]:
+            if self.catalog.fk_deltas.get(level):
+                return None
+        return index
+
+    def _plan_order(self, bound: BoundQuery,
+                    override: Optional[SortMethod]) -> Optional[OrderPlan]:
+        """Decide how the query's ORDER BY / LIMIT executes."""
+        if not bound.is_ordered:
+            if override is not None:
+                raise PlanError(
+                    f"order method {override.value!r} given but the "
+                    f"statement has no ORDER BY / LIMIT"
+                )
+            return None
+        if not bound.order_by or bound.limit == 0:
+            # no sort key (or nothing survives the LIMIT): plain slice.
+            # A forced method other than truncate would be silently
+            # ignored -- reject it like any other unusable override.
+            if override is not None and override is not SortMethod.TRUNCATE:
+                raise PlanError(
+                    f"order method {override.value!r} is not usable "
+                    f"for this query (no rows to sort)"
+                )
+            return OrderPlan(keys=bound.order_by,
+                             method=SortMethod.TRUNCATE,
+                             limit=bound.limit, offset=bound.offset)
+        if bound.is_aggregate:
+            positions = tuple(bound.group_by.index(item.column)
+                              for item in bound.order_by)
+            aid_position = None
+        elif bound.distinct:
+            # dedup precedes the sort; keys are projected values and
+            # the index-order path (the anchor-id consumer) is out
+            positions = tuple(bound.projections.index(item.column)
+                              for item in bound.order_by)
+            aid_position = None
+        else:
+            positions = tuple(bound.projections.index(item.column)
+                              for item in bound.order_by)
+            aid_position = next(
+                i for i, col in enumerate(bound.projections)
+                if col.table == bound.anchor and col.column.is_id
+            )
+        index = self._order_index(bound)
+        report = self.cost_model.estimate_order(bound, index)
+        if override is not None:
+            chosen = next((c for c in report.candidates
+                           if c.method is override), None)
+            if chosen is None or chosen.infeasible:
+                note = chosen.note if chosen else "(not a candidate)"
+                raise PlanError(
+                    f"order method {override.value!r} is not usable for "
+                    f"this query {note}"
+                )
+        else:
+            chosen = min(report.candidates,
+                         key=lambda c: (c.infeasible, c.total_us,
+                                        c.ram_peak))
+            if chosen.infeasible:
+                # fail at plan time with a clear message instead of
+                # letting the executor die on RamExhausted mid-sort
+                reasons = "; ".join(
+                    f"{c.method.value} {c.note}".strip()
+                    for c in report.candidates
+                )
+                raise PlanError(
+                    f"no ordering method fits this token's secure RAM: "
+                    f"{reasons}"
+                )
+        chosen.chosen = True
+        key = bound.order_by[0].column
+        return OrderPlan(
+            keys=bound.order_by, method=chosen.method,
+            limit=bound.limit, offset=bound.offset,
+            key_positions=positions, aid_position=aid_position,
+            index_table=(key.table if chosen.method is
+                         SortMethod.INDEX_ORDER else None),
+            index_column=(key.column.name if chosen.method is
+                          SortMethod.INDEX_ORDER else None),
+            report=report,
+        )
+
+    # ------------------------------------------------------------------
     def plan(self, bound: BoundQuery,
              vis_strategy: StrategyLike = None,
              cross: Optional[bool] = None,
              projection: Union[str, ProjectionMode] = ProjectionMode.PROJECT,
+             order_method: SortMethodLike = None,
              ) -> QueryPlan:
         """Decide strategies for every table carrying visible selections.
 
@@ -186,6 +312,9 @@ class Planner:
         candidate assignment is priced by the cost model and the
         cheapest wins.  The losing candidates ride along on the plan's
         :attr:`~repro.core.plan.QueryPlan.cost_report` for ``EXPLAIN``.
+        ``order_method`` similarly forces how an ORDER BY / LIMIT
+        executes (external-sort / top-k-heap / index-order); ``None``
+        lets the cost model pick.
         """
         override = _coerce_strategy(vis_strategy)
         mode = _coerce_mode(projection)
@@ -226,5 +355,6 @@ class Planner:
         self.plans_built += 1
         return QueryPlan(
             bound=bound, vis_plans=vis_plans, projection_mode=mode,
+            order=self._plan_order(bound, _coerce_sort_method(order_method)),
             cost_report=report,
         )

@@ -80,12 +80,14 @@ class ReferenceEngine:
     # ------------------------------------------------------------------
     def execute(self, bound: BoundQuery
                 ) -> Tuple[List[str], List[Tuple]]:
-        """Evaluate the query; rows come out in anchor-id order."""
+        """Evaluate the query; rows come out in anchor-id order (or the
+        requested ``ORDER BY`` order, ties broken by anchor id)."""
         anchor = bound.anchor
         projections = (effective_projections(bound) if bound.is_aggregate
                        else bound.projections)
         dead = self.tombstones.get(anchor, ())
         out: List[Tuple] = []
+        keys: List[Tuple] = []          # ORDER BY values per output row
         for rid in range(len(self.rows[anchor])):
             if rid in dead:
                 # deletes RESTRICT, so skipping dead anchors suffices
@@ -102,6 +104,46 @@ class ReferenceEngine:
                     break
             if ok:
                 out.append(tuple(self._value(c, ids) for c in projections))
+                if bound.order_by and not bound.is_aggregate:
+                    keys.append(tuple(self._value(item.column, ids)
+                                      for item in bound.order_by))
         if bound.is_aggregate:
-            return apply_aggregates(bound, projections, out)
-        return [str(c) for c in bound.projections], out
+            names, out = apply_aggregates(bound, projections, out)
+            group_pos = {c: i for i, c in enumerate(bound.group_by)}
+            keys = [tuple(row[group_pos[item.column]]
+                          for item in bound.order_by) for row in out]
+            return names, self._apply_order(bound, out, keys)
+        if bound.distinct:
+            # SELECT DISTINCT: first occurrence wins, before ORDER BY.
+            # Sort keys are projected values (the binder enforces it),
+            # so surviving rows keep consistent keys.
+            seen = set()
+            deduped, dkeys = [], []
+            for i, row in enumerate(out):
+                if row not in seen:
+                    seen.add(row)
+                    deduped.append(row)
+                    if keys:
+                        dkeys.append(keys[i])
+            out, keys = deduped, dkeys
+        return ([str(c) for c in bound.projections],
+                self._apply_order(bound, out, keys))
+
+    @staticmethod
+    def _apply_order(bound: BoundQuery, rows: List[Tuple],
+                     keys: List[Tuple]) -> List[Tuple]:
+        """Sort by the ORDER BY keys (stable, so ties keep anchor-id
+        order) and apply OFFSET / LIMIT."""
+        if bound.order_by:
+            pairs = list(zip(keys, rows))
+            # multi-pass stable sort, least significant key first, so
+            # per-key ASC/DESC works for any orderable value type
+            for pos in range(len(bound.order_by) - 1, -1, -1):
+                pairs.sort(key=lambda kr, p=pos: kr[0][p],
+                           reverse=bound.order_by[pos].desc)
+            rows = [row for _, row in pairs]
+        if bound.offset:
+            rows = rows[bound.offset:]
+        if bound.limit is not None:
+            rows = rows[:bound.limit]
+        return rows

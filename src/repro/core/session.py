@@ -35,7 +35,8 @@ from typing import (TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence,
 from repro.core.executor import QueryResult, QueryStats
 from repro.core.operators import to_vis_predicates
 from repro.core.plan import ProjectionMode, QueryPlan
-from repro.core.planner import StrategyLike, _coerce_mode, _coerce_strategy
+from repro.core.planner import (SortMethodLike, StrategyLike, _coerce_mode,
+                                _coerce_sort_method, _coerce_strategy)
 from repro.errors import BindError, GhostDBError
 from repro.sql.binder import BoundQuery
 from repro.sql.lexer import normalize_sql
@@ -47,19 +48,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: how many Vis requests ride in one prefetch round trip
 VIS_BATCH_SIZE = 64
 
-#: cache key: (normalized sql, strategy, cross, projection)
-PlanKey = Tuple[str, Optional[str], Optional[bool], str]
+#: cache key: (normalized sql, strategy, cross, projection, order method)
+PlanKey = Tuple[str, Optional[str], Optional[bool], str, Optional[str]]
 
 
 def plan_key(sql: str, vis_strategy: StrategyLike, cross: Optional[bool],
-             projection: Union[str, ProjectionMode]) -> PlanKey:
+             projection: Union[str, ProjectionMode],
+             order_method: SortMethodLike = None) -> PlanKey:
     """Cache key for one (statement, strategy-knobs) combination."""
     strategy = _coerce_strategy(vis_strategy)
+    method = _coerce_sort_method(order_method)
     return (
         normalize_sql(sql),
         strategy.value if strategy is not None else None,
         cross,
         _coerce_mode(projection).value,
+        method.value if method is not None else None,
     )
 
 
@@ -147,13 +151,16 @@ class PreparedStatement:
                  vis_strategy: StrategyLike = None,
                  cross: Optional[bool] = None,
                  projection: Union[str, ProjectionMode] = "project",
+                 order_method: SortMethodLike = None,
                  parsed=None):
         self.session = session
         self.sql = sql
         self._vis_strategy = vis_strategy
         self._cross = cross
         self._projection = projection
-        self._key = plan_key(sql, vis_strategy, cross, projection)
+        self._order_method = order_method
+        self._key = plan_key(sql, vis_strategy, cross, projection,
+                             order_method)
         db = session.db
         db._require_built()
         self.template: BoundQuery = db._bind(sql, parsed)
@@ -171,7 +178,8 @@ class PreparedStatement:
         plan = cache.get(self._key, db.table_generations)
         if plan is None:
             plan = db._planner.plan(
-                bound, self._vis_strategy, self._cross, self._projection
+                bound, self._vis_strategy, self._cross, self._projection,
+                self._order_method,
             )
             cache.put(self._key, plan,
                       db.catalog.generations_for(bound.tables))
@@ -242,15 +250,17 @@ class Session:
                 vis_strategy: StrategyLike = None,
                 cross: Optional[bool] = None,
                 projection: Union[str, ProjectionMode] = "project",
+                order_method: SortMethodLike = None,
                 parsed=None) -> PreparedStatement:
         """Bind ``sql`` (which may contain ``?`` placeholders) once."""
         return PreparedStatement(self, sql, vis_strategy, cross,
-                                 projection, parsed)
+                                 projection, order_method, parsed)
 
     def query(self, sql: str, params: Optional[Sequence] = None,
               vis_strategy: StrategyLike = None,
               cross: Optional[bool] = None,
               projection: Union[str, ProjectionMode] = "project",
+              order_method: SortMethodLike = None,
               parsed=None) -> QueryResult:
         """Like legacy ``GhostDB.query`` but through the plan cache.
 
@@ -259,17 +269,18 @@ class Session:
         reuse a cached bound template, so a hot loop re-binds nothing.
         """
         if params is not None:
-            key = plan_key(sql, vis_strategy, cross, projection)
+            key = plan_key(sql, vis_strategy, cross, projection,
+                           order_method)
             stmt = self._statements.get(key)
             if stmt is None:
                 stmt = self.prepare(sql, vis_strategy, cross, projection,
-                                    parsed)
+                                    order_method, parsed)
                 self._statements[key] = stmt
                 while len(self._statements) > self.plan_cache.capacity:
                     self._statements.popitem(last=False)
             return stmt.execute(params)
         plan = self._plan_cached(sql, vis_strategy, cross, projection,
-                                 parsed)
+                                 order_method, parsed)
         return self.db.execute_plan(plan)
 
     def query_many(self,
@@ -278,6 +289,7 @@ class Session:
                    vis_strategy: StrategyLike = None,
                    cross: Optional[bool] = None,
                    projection: Union[str, ProjectionMode] = "project",
+                   order_method: SortMethodLike = None,
                    prefetch_vis: bool = True) -> BatchResult:
         """Execute a batch of queries with amortized round trips.
 
@@ -296,7 +308,8 @@ class Session:
         :class:`QueryStats` for the batch.
         """
         if isinstance(sql, str):
-            stmt = self.prepare(sql, vis_strategy, cross, projection)
+            stmt = self.prepare(sql, vis_strategy, cross, projection,
+                                order_method)
             if param_sets is None:
                 param_sets = [()]
             return self._run_template_batch(stmt, param_sets, prefetch_vis)
@@ -306,7 +319,7 @@ class Session:
                 "of statements"
             )
         return self._run_sql_batch(list(sql), vis_strategy, cross,
-                                   projection, prefetch_vis)
+                                   projection, order_method, prefetch_vis)
 
     def invalidate(self) -> None:
         """Drop cached plans (called by ``GhostDB.rebuild()``)."""
@@ -316,8 +329,9 @@ class Session:
     def _plan_cached(self, sql: str, vis_strategy: StrategyLike,
                      cross: Optional[bool],
                      projection: Union[str, ProjectionMode],
+                     order_method: SortMethodLike = None,
                      parsed=None) -> QueryPlan:
-        key = plan_key(sql, vis_strategy, cross, projection)
+        key = plan_key(sql, vis_strategy, cross, projection, order_method)
         plan = self.plan_cache.get(key, self.db.table_generations)
         if plan is None:
             bound = self.db._bind(sql, parsed)
@@ -327,7 +341,7 @@ class Session:
                     "pass params"
                 )
             plan = self.db._planner.plan(bound, vis_strategy, cross,
-                                         projection)
+                                         projection, order_method)
             self.plan_cache.put(key, plan,
                                 self.db.catalog.generations_for(
                                     bound.tables))
@@ -355,11 +369,13 @@ class Session:
     def _run_sql_batch(self, sqls: List[str],
                        vis_strategy: StrategyLike, cross: Optional[bool],
                        projection: Union[str, ProjectionMode],
+                       order_method: SortMethodLike,
                        prefetch_vis: bool) -> BatchResult:
         if not sqls:
             return BatchResult([], QueryStats.aggregate(()), 0, 0)
         window = self._open_window()
-        plans = [self._plan_cached(s, vis_strategy, cross, projection)
+        plans = [self._plan_cached(s, vis_strategy, cross, projection,
+                                   order_method)
                  for s in sqls]
         nbytes = sum(max(1, len(s)) for s in sqls)
         self._announce_batch(nbytes, len(plans), sqls[0])

@@ -61,6 +61,7 @@ class ColumnStats:
     @classmethod
     def from_values(cls, values: Iterable,
                     capacity: int = DEFAULT_CAPACITY) -> "ColumnStats":
+        """Gather a sketch over ``values`` from scratch."""
         stats = cls(capacity=capacity)
         for value in values:
             stats.add(value)
@@ -147,7 +148,7 @@ class ColumnStats:
             return 0.5
 
     def _range_count(self, predicate: Predicate) -> float:
-        def in_range(value) -> bool:
+        def _in_range(value) -> bool:
             op = predicate.op
             if op == "<":
                 return value < predicate.value
@@ -158,7 +159,7 @@ class ColumnStats:
             if op == ">=":
                 return value >= predicate.value
             return predicate.value <= value <= predicate.value2
-        tracked = sum(c for v, c in self.counts.items() if in_range(v))
+        tracked = sum(c for v, c in self.counts.items() if _in_range(v))
         if self.residual_count:
             lo, hi = self._bounds_of(predicate)
             tracked += self.residual_count * self._interval_fraction(lo, hi)
@@ -231,6 +232,17 @@ class TableStats:
 
     def column(self, name: str) -> Optional[ColumnStats]:
         return self.columns.get(name)
+
+    def distinct(self, name: str) -> Optional[int]:
+        """Estimated live distinct values of one column.
+
+        Feeds the planner's output-cardinality estimates -- GROUP BY
+        group counts and the ordering step's run-count/top-k sizing --
+        alongside :meth:`selectivity`.  ``None`` when the column is not
+        sketched (foreign keys, unknown names).
+        """
+        stats = self.columns.get(name)
+        return stats.n_distinct if stats is not None else None
 
     def selectivity(self, column: str, predicate: Predicate) -> float:
         """Estimated selectivity; unknown columns fall back to 0.5."""

@@ -37,6 +37,8 @@ class OutboundMessage:
 
 @dataclass
 class ChannelStats:
+    """Byte and message counters per channel direction."""
+
     bytes_to_secure: int = 0
     bytes_to_untrusted: int = 0
     messages_to_secure: int = 0

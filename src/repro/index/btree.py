@@ -228,6 +228,26 @@ class BPlusTree:
         """Full scan in key order."""
         return self.range(ram=ram)
 
+    def scan_reverse(self, ram: Optional[SecureRam] = None
+                     ) -> Iterator[Tuple[bytes, bytes]]:
+        """Full scan in descending key order.
+
+        Leaves are laid out sequentially by :meth:`bulk_build`, so the
+        reverse scan walks pages ``n_leaves-1 .. 0`` and reverses each
+        leaf in the page buffer -- same I/O as :meth:`scan`.
+        """
+        if self.n_entries == 0:
+            return
+        bufs = self._with_path_buffers(ram)
+        try:
+            for page in range(self.n_leaves - 1, -1, -1):
+                _, keys, payloads = self._read_node(page)
+                for key, payload in zip(reversed(keys),
+                                        reversed(payloads)):
+                    yield key, payload
+        finally:
+            self._free_buffers(bufs)
+
     # ------------------------------------------------------------------
     def insert(self, key: bytes, payload: bytes) -> None:
         """Point insert via leaf rewrite (no split support: load-time API).

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence, Set,
+                    Tuple)
 
 from repro.errors import IndexError_
 from repro.flash.constants import ID_SIZE
@@ -183,6 +184,26 @@ class ClimbingIndex:
         pos = self._level_pos(level)
         return [self._view(p, pos, level)
                 for p in self._matching_payloads(predicate, ram)]
+
+    def scan_level(self, level: str, ram: Optional[SecureRam] = None,
+                   reverse: bool = False) -> Iterator[U32View]:
+        """All of ``level``'s sublists, in indexed-value order.
+
+        Runs are written in value order at build time, so streaming the
+        sublists entry by entry delivers ``level`` IDs ordered by the
+        indexed attribute -- the sort-avoidance path of ``ORDER BY``.
+        ``reverse=True`` walks the leaves backwards (descending values);
+        ids *within* one sublist stay ascending, which is exactly the
+        stable tie-break on the anchor id that the sort operators use.
+
+        Only valid while the index has no delta log (appended rows are
+        not value-ordered); callers must check :attr:`delta_entries`.
+        """
+        pos = self._level_pos(level)
+        entries = (self.btree.scan_reverse(ram) if reverse
+                   else self.btree.scan(ram))
+        for _, payload in entries:
+            yield self._view(payload, pos, level)
 
     # ------------------------------------------------------------------
     # append-only maintenance

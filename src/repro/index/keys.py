@@ -25,6 +25,7 @@ def encode_int(value: int) -> bytes:
 
 
 def decode_int(raw: bytes) -> int:
+    """Inverse of :func:`encode_int`."""
     return int.from_bytes(raw, "big") - (1 << 63)
 
 
@@ -39,6 +40,7 @@ def encode_float(value: float) -> bytes:
 
 
 def decode_float(raw: bytes) -> float:
+    """Inverse of :func:`encode_float`."""
     bits = int.from_bytes(raw, "big")
     if bits & (1 << 63):
         bits &= ~(1 << 63) & ((1 << 64) - 1)
@@ -48,6 +50,7 @@ def decode_float(raw: bytes) -> float:
 
 
 def encode_str(value: str, width: int) -> bytes:
+    """Sortable fixed-width encoding of a string (NUL padded)."""
     raw = str(value).encode("utf-8")
     if len(raw) > width:
         raise IndexError_(
@@ -57,6 +60,7 @@ def encode_str(value: str, width: int) -> bytes:
 
 
 def decode_str(raw: bytes) -> str:
+    """Inverse of :func:`encode_str`."""
     return raw.rstrip(b"\x00").decode("utf-8")
 
 

@@ -55,6 +55,8 @@ class Recommendation:
 
 @dataclass
 class AdvisorReport:
+    """The advisor's verdict for one schema."""
+
     recommendations: List[Recommendation] = field(default_factory=list)
 
     def hidden_columns(self) -> Dict[str, List[str]]:

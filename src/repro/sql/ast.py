@@ -62,6 +62,8 @@ class Comparison:
 
 @dataclass(frozen=True)
 class BetweenPredicate:
+    """``col BETWEEN low AND high`` (inclusive both ends)."""
+
     column: ColumnRef
     low: Value
     high: Value
@@ -69,6 +71,8 @@ class BetweenPredicate:
 
 @dataclass(frozen=True)
 class InPredicate:
+    """``col IN (v1, v2, ...)``."""
+
     column: ColumnRef
     values: Sequence[Value]
 
@@ -85,11 +89,29 @@ Predicate = Union[Comparison, BetweenPredicate, InPredicate, JoinPredicate]
 
 
 @dataclass(frozen=True)
+class OrderItem:
+    """One ``ORDER BY`` key: a column plus its direction."""
+
+    column: ColumnRef
+    desc: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.column} {'DESC' if self.desc else 'ASC'}"
+
+
+@dataclass(frozen=True)
 class SelectQuery:
+    """One parsed SELECT: items, tables, predicates and the optional
+    DISTINCT / GROUP BY / ORDER BY / LIMIT clauses."""
+
     select: Sequence[SelectItem]
     tables: Sequence[str]
     predicates: Sequence[Predicate] = field(default_factory=tuple)
     group_by: Sequence[ColumnRef] = field(default_factory=tuple)
+    order_by: Sequence[OrderItem] = field(default_factory=tuple)
+    limit: Optional[int] = None
+    offset: int = 0
+    distinct: bool = False
 
 
 @dataclass(frozen=True)
@@ -116,6 +138,8 @@ class DeleteStatement:
 
 @dataclass(frozen=True)
 class ColumnDef:
+    """One column of a ``CREATE TABLE``: type plus annotations."""
+
     name: str
     type_name: str                # INT / SMALLINT / BIGINT / FLOAT / CHAR
     char_size: Optional[int] = None
@@ -125,5 +149,7 @@ class ColumnDef:
 
 @dataclass(frozen=True)
 class CreateTable:
+    """``CREATE TABLE name (coldef, ...)``."""
+
     name: str
     columns: Sequence[ColumnDef]

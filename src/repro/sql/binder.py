@@ -30,6 +30,8 @@ from repro.sql.parser import parse
 
 @dataclass(frozen=True)
 class BoundColumn:
+    """A column reference resolved against the schema."""
+
     table: str
     column: Column
 
@@ -56,12 +58,32 @@ class BoundSelection:
 
 @dataclass(frozen=True)
 class BoundAggregate:
+    """One aggregate call with its resolved argument."""
+
     func: str
     arg: Optional[BoundColumn]    # None for COUNT(*)
 
 
 @dataclass(frozen=True)
+class BoundOrderItem:
+    """One resolved ``ORDER BY`` key with its direction."""
+
+    column: BoundColumn
+    desc: bool = False
+
+    def describe(self) -> str:
+        return f"{self.column} {'desc' if self.desc else 'asc'}"
+
+
+@dataclass(frozen=True)
 class BoundQuery:
+    """A SELECT resolved against the schema, ready for planning.
+
+    Carries the anchor table, the classified selections, the
+    (possibly internally extended) projections, the aggregate and
+    GROUP BY sets, and the ORDER BY / LIMIT clause.
+    """
+
     sql: str
     tables: Tuple[str, ...]
     anchor: str
@@ -69,11 +91,27 @@ class BoundQuery:
     projections: Tuple[BoundColumn, ...]
     aggregates: Tuple[BoundAggregate, ...] = ()
     group_by: Tuple[BoundColumn, ...] = ()
+    order_by: Tuple[BoundOrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: int = 0
+    #: SELECT DISTINCT: duplicate projected rows are dropped (stable,
+    #: first occurrence wins) before ORDER BY / LIMIT apply
+    distinct: bool = False
+    #: trailing projections appended internally (sort keys, the anchor
+    #: id the ordering operator maps rows by) -- stripped from the
+    #: result after ORDER BY / LIMIT are applied
+    internal_tail: int = 0
     param_count: int = 0
 
     @property
     def is_aggregate(self) -> bool:
         return bool(self.aggregates)
+
+    @property
+    def is_ordered(self) -> bool:
+        """Whether the result needs an ordering pass (sort or truncate)."""
+        return bool(self.order_by) or self.limit is not None \
+            or self.offset > 0
 
     @property
     def has_parameters(self) -> bool:
@@ -196,7 +234,7 @@ class BoundDelete:
 def _substitute_selections(selections: Sequence[BoundSelection],
                            params: Sequence
                            ) -> Tuple[BoundSelection, ...]:
-    def fill(value):
+    def _fill(value):
         if isinstance(value, ast.Parameter):
             return params[value.index]
         return value
@@ -206,9 +244,9 @@ def _substitute_selections(selections: Sequence[BoundSelection],
             s.table, s.column,
             IndexPredicate(
                 s.predicate.op,
-                fill(s.predicate.value),
-                fill(s.predicate.value2),
-                ([fill(v) for v in s.predicate.values]
+                _fill(s.predicate.value),
+                _fill(s.predicate.value2),
+                ([_fill(v) for v in s.predicate.values]
                  if s.predicate.values is not None else None),
             ),
         )
@@ -339,7 +377,17 @@ class Binder:
         group_by = tuple(
             self._resolve(ref, tables) for ref in query.group_by
         )
+        order_by = tuple(
+            BoundOrderItem(self._resolve(item.column, tables), item.desc)
+            for item in query.order_by
+        )
         if aggregates:
+            for item in order_by:
+                if item.column not in group_by:
+                    raise BindError(
+                        f"ORDER BY {item.column} must appear in GROUP BY "
+                        f"when aggregates are present"
+                    )
             plain = [i for i in query.select
                      if not isinstance(i, ast.Aggregate)]
             for item in plain:
@@ -352,10 +400,21 @@ class Binder:
                     )
         elif group_by:
             raise BindError("GROUP BY without aggregates")
+        if query.distinct and not aggregates:
+            # dedup keys are the projected values, so every sort key
+            # must be one of them (standard SQL's DISTINCT restriction)
+            for item in order_by:
+                if item.column not in projections:
+                    raise BindError(
+                        f"ORDER BY {item.column} must appear in the "
+                        f"select list with SELECT DISTINCT"
+                    )
         return BoundQuery(
             sql=sql, tables=tuple(tables), anchor=anchor,
             selections=selections, projections=projections,
             aggregates=aggregates, group_by=group_by,
+            order_by=order_by, limit=query.limit, offset=query.offset,
+            distinct=query.distinct,
             param_count=_count_parameters(selections),
         )
 

@@ -3,8 +3,8 @@
 Supports the paper's surface: ``CREATE TABLE`` with the ``HIDDEN``
 annotation and ``REFERENCES`` clauses, Select-Project-Join queries
 with conjunctive predicates (comparisons, ``BETWEEN``, ``IN``) plus the
-aggregate extension, and the incremental DML statements ``INSERT INTO``
-and ``DELETE FROM``.
+aggregate and ``ORDER BY`` / ``LIMIT`` extensions, and the incremental
+DML statements ``INSERT INTO`` and ``DELETE FROM``.
 """
 
 from __future__ import annotations
@@ -19,7 +19,7 @@ KEYWORDS = {
     "REFERENCES", "BETWEEN", "IN", "GROUP", "BY", "AS", "INT", "INTEGER",
     "SMALLINT", "BIGINT", "FLOAT", "CHAR", "COUNT", "SUM", "MIN", "MAX",
     "AVG", "NOT", "NULL", "PRIMARY", "KEY", "DISTINCT", "INSERT", "INTO",
-    "VALUES", "DELETE",
+    "VALUES", "DELETE", "ORDER", "ASC", "DESC", "LIMIT", "OFFSET",
 }
 
 #: token kinds
@@ -36,6 +36,8 @@ _OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".",
 
 @dataclass(frozen=True)
 class Token:
+    """One lexed token: kind, source text and position."""
+
     kind: str
     value: str
     pos: int

@@ -7,8 +7,11 @@ Grammar (conjunctive SPJ queries plus DDL and DML)::
     coldef      := ident type [HIDDEN] [REFERENCES ident]
     type        := INT | INTEGER | SMALLINT | BIGINT | FLOAT
                  | CHAR '(' number ')'
-    select      := SELECT selitem (',' selitem)* FROM ident (',' ident)*
+    select      := SELECT [DISTINCT] selitem (',' selitem)*
+                   FROM ident (',' ident)*
                    [WHERE pred (AND pred)*] [GROUP BY colref (',' colref)*]
+                   [ORDER BY colref [ASC|DESC] (',' colref [ASC|DESC])*]
+                   [LIMIT number [OFFSET number]]
     insert      := INSERT INTO ident ['(' ident (',' ident)* ')']
                    VALUES row (',' row)*
     row         := '(' literal (',' literal)* ')'
@@ -35,6 +38,7 @@ from repro.sql.ast import (
     InPredicate,
     InsertStatement,
     JoinPredicate,
+    OrderItem,
     Parameter,
     SelectQuery,
     Star,
@@ -185,7 +189,7 @@ class _Parser:
     # ------------------------------------------------------------------
     def parse_select(self) -> SelectQuery:
         self.expect(KW, "SELECT")
-        self.accept(KW, "DISTINCT")
+        distinct = self.accept(KW, "DISTINCT")
         items = [self.parse_select_item()]
         while self.accept(OP, ","):
             items.append(self.parse_select_item())
@@ -204,8 +208,38 @@ class _Parser:
             group_by.append(self.parse_column_ref())
             while self.accept(OP, ","):
                 group_by.append(self.parse_column_ref())
+        order_by: List[OrderItem] = []
+        if self.accept(KW, "ORDER"):
+            self.expect(KW, "BY")
+            order_by.append(self.parse_order_item())
+            while self.accept(OP, ","):
+                order_by.append(self.parse_order_item())
+        limit = None
+        offset = 0
+        if self.accept(KW, "LIMIT"):
+            limit = self.parse_count("LIMIT")
+            if self.accept(KW, "OFFSET"):
+                offset = self.parse_count("OFFSET")
         return SelectQuery(tuple(items), tuple(tables), tuple(predicates),
-                           tuple(group_by))
+                           tuple(group_by), tuple(order_by), limit, offset,
+                           distinct)
+
+    def parse_order_item(self) -> OrderItem:
+        column = self.parse_column_ref()
+        desc = False
+        if self.accept(KW, "DESC"):
+            desc = True
+        else:
+            self.accept(KW, "ASC")
+        return OrderItem(column, desc)
+
+    def parse_count(self, clause: str) -> int:
+        tok = self.expect(NUMBER)
+        if "." in tok.value or int(tok.value) < 0:
+            raise SqlSyntaxError(
+                f"{clause} takes a non-negative integer, got {tok.value!r}"
+            )
+        return int(tok.value)
 
     def parse_select_item(self):
         if self.accept(OP, "*"):

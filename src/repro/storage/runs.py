@@ -50,6 +50,7 @@ class U32FileBuilder:
             self._buffer.clear()
 
     def extend(self, values: Iterable[int]) -> None:
+        """Append every value of ``values`` in order."""
         for v in values:
             self.add(v)
 
@@ -181,14 +182,17 @@ class IdRun:
     # ------------------------------------------------------------------
     @classmethod
     def memory(cls, ids: List[int]) -> "IdRun":
+        """A RAM-resident run (its bytes are accounted by the owner)."""
         return cls(ids=ids)
 
     @classmethod
     def flash(cls, view: U32View) -> "IdRun":
+        """A flash-resident run backed by a :class:`U32View`."""
         return cls(view=view)
 
     @property
     def count(self) -> int:
+        """Number of ids in the run."""
         return len(self.ids) if self.ids is not None else self.view.count
 
     @property
@@ -205,6 +209,7 @@ class IdRun:
 
     def iterate(self, ram: Optional[SecureRam] = None,
                 label: str = "run read") -> Iterator[int]:
+        """Yield the ids in order (one RAM buffer while a view is open)."""
         if self.ids is not None:
             return iter(self.ids)
         return self.view.iterate(ram, label)

@@ -65,6 +65,8 @@ CITIES = ["Paris", "Versailles", "Lyon", "Lille", "Nantes"]
 
 @dataclass(frozen=True)
 class MedicalConfig:
+    """Scale factor and RNG seed of the generated medical data set."""
+
     scale: float = 0.1
     seed: int = 7
 
@@ -116,3 +118,26 @@ def build_medical(config: Optional[MedicalConfig] = None,
 def sv_to_age_bound(selectivity: float) -> int:
     """``age < k`` bound realizing a wanted Visible selectivity."""
     return max(1, round(selectivity * 100))
+
+
+def top_k_bmi_query(k: Optional[int],
+                    specialty: str = "Psychiatrist") -> str:
+    """Ranked retrieval: one specialty's patients by descending BMI.
+
+    The paper's motivating scenario -- a doctor reviewing the most
+    at-risk patients first -- needs exactly this shape: a visible
+    selection (specialty), a hidden join, and an ``ORDER BY`` on a
+    hidden attribute with a small ``LIMIT``.  ``bodymassindex`` is
+    climbing-indexed, so the planner can serve it by index order and
+    stop after ``k`` rows.  ``k=None`` asks for the full ranking.
+    """
+    sql = (
+        "SELECT Patients.id, Patients.bodymassindex "
+        "FROM Patients, Doctors "
+        "WHERE Patients.doctor_id = Doctors.id "
+        f"AND Doctors.specialty = '{specialty}' "
+        "ORDER BY Patients.bodymassindex DESC"
+    )
+    if k is not None:
+        sql += f" LIMIT {k}"
+    return sql

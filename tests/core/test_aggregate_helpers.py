@@ -1,0 +1,101 @@
+"""Direct unit coverage of the ``core/aggregate.py`` helpers.
+
+Exercises the edge cases the end-to-end query tests skate over: empty
+groups (global aggregates over no rows), aggregates whose every input
+column is HIDDEN, and the deduplication rules of
+``effective_projections``.
+"""
+
+import pytest
+
+from repro.core.aggregate import apply_aggregates, effective_projections
+from repro.schema.ddl import schema_from_sql
+from repro.sql.binder import Binder
+
+DDL = [
+    "CREATE TABLE P (id int, fk int HIDDEN REFERENCES C, v int, "
+    "h int HIDDEN, w float HIDDEN)",
+    "CREATE TABLE C (id int, g int HIDDEN, x int HIDDEN)",
+]
+
+
+@pytest.fixture
+def binder():
+    return Binder(schema_from_sql(DDL))
+
+
+# ---------------------------------------------------------------------------
+# effective_projections
+# ---------------------------------------------------------------------------
+
+def test_effective_projections_dedup_group_key_as_agg_arg(binder):
+    """An aggregate argument already in GROUP BY is not projected twice."""
+    bound = binder.bind_sql(
+        "SELECT P.v, COUNT(P.v), SUM(P.h) FROM P GROUP BY P.v"
+    )
+    assert [str(c) for c in effective_projections(bound)] == ["P.v", "P.h"]
+
+
+def test_effective_projections_dedup_repeated_agg_arg(binder):
+    """Two aggregates over the same column share one projection."""
+    bound = binder.bind_sql("SELECT MIN(P.h), MAX(P.h), AVG(P.h) FROM P")
+    assert [str(c) for c in effective_projections(bound)] == ["P.h"]
+
+
+def test_effective_projections_count_star_needs_nothing(binder):
+    """COUNT(*) has no argument: only the group keys are projected."""
+    bound = binder.bind_sql("SELECT C.g, COUNT(*) FROM C GROUP BY C.g")
+    assert [str(c) for c in effective_projections(bound)] == ["C.g"]
+
+
+# ---------------------------------------------------------------------------
+# apply_aggregates: empty groups
+# ---------------------------------------------------------------------------
+
+def test_empty_input_global_group_null_semantics(binder):
+    """SQL semantics over no rows: COUNT is 0, the rest are NULL."""
+    bound = binder.bind_sql(
+        "SELECT COUNT(*), COUNT(P.h), SUM(P.h), AVG(P.h), MIN(P.h), "
+        "MAX(P.h) FROM P"
+    )
+    names, rows = apply_aggregates(bound, effective_projections(bound), [])
+    assert names == ["COUNT(*)", "COUNT(P.h)", "SUM(P.h)", "AVG(P.h)",
+                     "MIN(P.h)", "MAX(P.h)"]
+    assert rows == [(0, 0, None, None, None, None)]
+
+
+def test_empty_input_with_group_by_yields_no_groups(binder):
+    bound = binder.bind_sql(
+        "SELECT P.v, SUM(P.h) FROM P GROUP BY P.v"
+    )
+    _, rows = apply_aggregates(bound, effective_projections(bound), [])
+    assert rows == []
+
+
+# ---------------------------------------------------------------------------
+# apply_aggregates: all-hidden columns
+# ---------------------------------------------------------------------------
+
+def test_all_hidden_group_and_aggregate(binder):
+    """Grouping on a hidden key with hidden aggregate args works like
+    any other column -- aggregation happens after projection, on the
+    token."""
+    bound = binder.bind_sql(
+        "SELECT P.h, SUM(P.w), COUNT(*) FROM P GROUP BY P.h"
+    )
+    cols = effective_projections(bound)
+    assert [str(c) for c in cols] == ["P.h", "P.w"]
+    data = [(1, 2.0), (2, 3.0), (1, 4.0), (2, 5.0), (2, 1.0)]
+    names, rows = apply_aggregates(bound, cols, data)
+    assert names == ["P.h", "SUM(P.w)", "COUNT(*)"]
+    assert rows == [(1, 6.0, 2), (2, 9.0, 3)]     # groups sorted by key
+
+
+def test_groups_sorted_by_key_tuple(binder):
+    bound = binder.bind_sql(
+        "SELECT C.g, C.x, COUNT(*) FROM C GROUP BY C.g, C.x"
+    )
+    cols = effective_projections(bound)
+    data = [(2, 9), (1, 8), (2, 1), (1, 8)]
+    _, rows = apply_aggregates(bound, cols, data)
+    assert rows == [(1, 8, 2), (2, 1, 1), (2, 9, 1)]
