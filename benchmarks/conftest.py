@@ -1,6 +1,7 @@
 """Shared benchmark fixtures: databases built once per session, plus a
 results directory where every figure's table is written."""
 
+import os
 import pathlib
 
 import pytest
@@ -12,6 +13,16 @@ from repro.bench.experiments import (
 )
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: rounds for the perf-smoke benchmarks; CI sets 5+ so the committed
+#: BENCH_pr*.json points carry a real wall_s_stddev
+BENCH_ROUNDS = max(1, int(os.environ.get("GHOSTDB_BENCH_ROUNDS", "1")))
+
+
+@pytest.fixture(scope="session")
+def bench_rounds() -> int:
+    """How many rounds the perf-smoke figures run (GHOSTDB_BENCH_ROUNDS)."""
+    return BENCH_ROUNDS
 
 
 @pytest.fixture(scope="session")

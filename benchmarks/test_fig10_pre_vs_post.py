@@ -9,9 +9,11 @@ to projection time regardless of selectivity.
 from repro.bench.experiments import fig10_pre_vs_post
 
 
-def test_fig10_pre_vs_post(benchmark, synthetic_db, save_table):
+def test_fig10_pre_vs_post(benchmark, synthetic_db, save_table,
+                           bench_rounds):
     rows = benchmark.pedantic(
-        fig10_pre_vs_post, args=(synthetic_db,), rounds=1, iterations=1
+        fig10_pre_vs_post, args=(synthetic_db,), rounds=bench_rounds,
+        iterations=1
     )
     save_table("fig10_pre_vs_post", rows,
                "Figure 10: Pre vs Post-Filtering, no Cross (seconds)")

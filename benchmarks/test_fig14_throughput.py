@@ -8,9 +8,11 @@ Paper's claim: "for this query, a communication throughput lesser than
 from repro.bench.experiments import fig14_throughput
 
 
-def test_fig14_throughput(benchmark, synthetic_db, save_table):
+def test_fig14_throughput(benchmark, synthetic_db, save_table,
+                          bench_rounds):
     rows = benchmark.pedantic(
-        fig14_throughput, args=(synthetic_db,), rounds=1, iterations=1
+        fig14_throughput, args=(synthetic_db,), rounds=bench_rounds,
+        iterations=1
     )
     save_table("fig14_throughput", rows,
                "Figure 14: query time vs channel throughput (seconds)")

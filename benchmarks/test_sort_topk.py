@@ -10,9 +10,9 @@ cost-based pick must track the best method within a small factor.
 from repro.bench.experiments import sort_topk
 
 
-def test_sort_topk(benchmark, medical_db, save_table):
+def test_sort_topk(benchmark, medical_db, save_table, bench_rounds):
     rows = benchmark.pedantic(
-        sort_topk, args=(medical_db,), rounds=1, iterations=1
+        sort_topk, args=(medical_db,), rounds=bench_rounds, iterations=1
     )
     save_table("sort_topk", rows,
                "Ordered retrieval: per-method cost vs LIMIT k (seconds)")

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Compare a fresh perf-smoke bench file against the committed baseline.
+
+Usage::
+
+    python scripts/bench_compare.py <fresh.json> [--baseline FILE]
+        [--threshold 0.15]
+
+Loads the freshly produced ``ghostdb-perf-smoke/1`` report and diffs
+its per-benchmark ``wall_s_mean`` against the latest committed
+``BENCH_pr*.json`` (highest PR number; override with ``--baseline``).
+Any benchmark whose wall time regressed by more than ``--threshold``
+(default 15%) is flagged and the exit status is 1 -- wire it as a
+non-blocking CI step (``continue-on-error``) so the warning lands in
+the log without gating merges on noisy runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def latest_baseline(exclude: pathlib.Path | None = None) -> pathlib.Path:
+    """The committed ``BENCH_pr<N>.json`` with the highest N."""
+    best, best_n = None, -1
+    for path in REPO.glob("BENCH_pr*.json"):
+        if exclude is not None and path.resolve() == exclude.resolve():
+            continue
+        match = re.fullmatch(r"BENCH_pr(\d+)\.json", path.name)
+        if match and int(match.group(1)) > best_n:
+            best, best_n = path, int(match.group(1))
+    if best is None:
+        sys.exit("no committed BENCH_pr*.json baseline found")
+    return best
+
+
+def wall_means(report: dict) -> dict[str, float]:
+    return {
+        bench["name"]: bench["wall_s_mean"]
+        for bench in report.get("benchmarks", [])
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly generated bench JSON")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON (default: latest BENCH_pr*)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative wall-time regression that warns")
+    opts = parser.parse_args()
+
+    fresh_path = pathlib.Path(opts.fresh)
+    fresh = wall_means(json.loads(fresh_path.read_text()))
+    base_path = (pathlib.Path(opts.baseline) if opts.baseline
+                 else latest_baseline(exclude=fresh_path))
+    base = wall_means(json.loads(base_path.read_text()))
+
+    print(f"baseline: {base_path.name}")
+    print(f"fresh   : {fresh_path.name}")
+    header = f"{'benchmark':30s} {'base_s':>10s} {'fresh_s':>10s} {'ratio':>7s}"
+    print(header)
+    print("-" * len(header))
+    regressions = []
+    for name in sorted(set(base) | set(fresh)):
+        if name not in base:
+            print(f"{name:30s} {'-':>10s} {fresh[name]:10.3f}   (new)")
+            continue
+        if name not in fresh:
+            print(f"{name:30s} {base[name]:10.3f} {'-':>10s}   (gone)")
+            continue
+        ratio = fresh[name] / base[name] if base[name] else float("inf")
+        flag = ""
+        if ratio > 1.0 + opts.threshold:
+            flag = f"  REGRESSION (> +{opts.threshold:.0%})"
+            regressions.append(name)
+        print(f"{name:30s} {base[name]:10.3f} {fresh[name]:10.3f} "
+              f"{ratio:6.2f}x{flag}")
+
+    if regressions:
+        print(f"\nWARNING: {len(regressions)} benchmark(s) regressed "
+              f"beyond {opts.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print("\nno wall-time regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,27 +6,37 @@ The CI perf-smoke job runs ``benchmarks/test_fig10_pre_vs_post.py``,
 ``benchmarks/test_sort_topk.py`` with
 ``--benchmark-json=bench_raw.json`` and then calls::
 
-    python scripts/perf_smoke_report.py bench_raw.json BENCH_pr4.json
+    python scripts/perf_smoke_report.py bench_raw.json --pr 5
 
-The emitted file carries wall-clock timings of the figure drivers plus
-the simulated-time tables they captured under ``results/`` -- one
-comparable point per PR, so regressions in either real or simulated
-time show up as a broken trajectory.
+which writes ``BENCH_pr5.json`` (an explicit output path may be passed
+as a second positional argument instead).  The emitted file carries
+wall-clock timings of the figure drivers plus the simulated-time
+tables they captured under ``results/`` -- one comparable point per
+PR, so regressions in either real or simulated time show up as a
+broken trajectory (``scripts/bench_compare.py`` diffs two points).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
-import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-PR = 4
 TABLES = ("fig10_pre_vs_post", "fig14_throughput", "sort_topk")
 
 
-def main(raw_path: str, out_path: str) -> None:
-    raw = json.loads(pathlib.Path(raw_path).read_text())
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("raw", help="pytest-benchmark JSON dump")
+    parser.add_argument("out", nargs="?", default=None,
+                        help="output path (default: BENCH_pr<PR>.json)")
+    parser.add_argument("--pr", type=int, required=True,
+                        help="PR number this trajectory point belongs to")
+    opts = parser.parse_args()
+    out_path = pathlib.Path(opts.out or f"BENCH_pr{opts.pr}.json")
+
+    raw = json.loads(pathlib.Path(opts.raw).read_text())
     benchmarks = [
         {
             "name": bench["name"],
@@ -44,18 +54,16 @@ def main(raw_path: str, out_path: str) -> None:
     machine = raw.get("machine_info", {})
     report = {
         "schema": "ghostdb-perf-smoke/1",
-        "pr": PR,
+        "pr": opts.pr,
         "python": machine.get("python_version"),
         "machine": machine.get("cpu", {}).get("brand_raw"),
         "benchmarks": benchmarks,
         "simulated_tables": simulated,
     }
-    pathlib.Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}: {len(benchmarks)} benchmark(s), "
           f"{len(simulated)} simulated table(s)")
 
 
 if __name__ == "__main__":
-    if len(sys.argv) != 3:
-        sys.exit("usage: perf_smoke_report.py <bench_raw.json> <out.json>")
-    main(sys.argv[1], sys.argv[2])
+    main()

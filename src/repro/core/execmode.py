@@ -1,0 +1,23 @@
+"""Execution-mode switch between the batch and scalar engines.
+
+The vectorized (page-at-a-time) pipelines are the default execution
+core.  The original scalar, id-at-a-time operators are kept alive as a
+reference implementation behind the ``REPRO_SCALAR_EXEC=1`` escape
+hatch: the differential test suite runs every workload through both
+engines and asserts bit-identical result rows, simulated costs, cost
+labels and ``ram_peak``.
+
+The flag is read per execution (not cached at import), so a test can
+flip engines around individual ``db.execute()`` calls.
+"""
+
+from __future__ import annotations
+
+import os
+
+ENV_VAR = "REPRO_SCALAR_EXEC"
+
+
+def scalar_exec() -> bool:
+    """Whether the scalar reference engine is forced via the env var."""
+    return os.environ.get(ENV_VAR, "") not in ("", "0")

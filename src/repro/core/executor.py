@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Tuple
 
-from repro.core.merge import MergeOperator
+from repro.core.execmode import scalar_exec
+from repro.core.merge import CHUNK, MergeOperator
 from repro.core.operators import (
     STORE_LABEL,
     ExecContext,
@@ -27,8 +28,11 @@ from repro.core.operators import (
     op_ci,
     op_ci_ids,
     op_probe_bf,
+    op_probe_bf_chunks,
     op_sjoin,
+    op_sjoin_chunks,
     op_store_columns,
+    op_store_columns_chunks,
     op_vis,
 )
 from repro.core.plan import (
@@ -37,7 +41,8 @@ from repro.core.plan import (
     VisPlan,
     VisStrategy,
 )
-from repro.storage.runs import IdRun, U32FileBuilder, U32View
+from repro.storage.runs import (IdRun, U32FileBuilder, U32View,
+                                difference_sorted)
 
 
 @dataclass
@@ -151,7 +156,13 @@ class QepSjExecutor:
         if not cross_groups:
             return vis_ids, False
         groups = [[IdRun.memory(vis_ids)]] + cross_groups
-        reduced = list(self.merge.stream(groups, reserve_buffers=2))
+        if scalar_exec():
+            reduced = list(self.merge.stream(groups, reserve_buffers=2))
+        else:
+            reduced = []
+            for chunk in self.merge.stream_chunks(groups,
+                                                  reserve_buffers=2):
+                reduced.extend(chunk)
         return reduced, True
 
     # ------------------------------------------------------------------
@@ -195,25 +206,41 @@ class QepSjExecutor:
             elif vp.strategy is VisStrategy.NOFILTER:
                 approx.add(table)
 
-        anchor_stream = self._anchor_stream(groups)
-
-        if not extra_tables:
-            view = self._materialize_anchor(anchor_stream)
-            for _, bf in post_blooms:
-                bf.free()
-            return QepSjResult(anchor=anchor, count=view.count,
-                               anchor_ids=view,
-                               columns={anchor: view},
-                               approx_tables=approx)
-
-        tuples: Iterator[Tuple[int, ...]] = op_sjoin(
-            ctx, anchor, anchor_stream, extra_tables
-        )
         order = [anchor] + extra_tables
         position = {t: i for i, t in enumerate(order)}
-        for table, bf in post_blooms:
-            tuples = op_probe_bf(ctx, bf, tuples, position[table])
-        columns, count = op_store_columns(ctx, tuples, order)
+
+        if scalar_exec():
+            anchor_stream = self._anchor_stream(groups)
+            if not extra_tables:
+                view = self._materialize_anchor(anchor_stream)
+                for _, bf in post_blooms:
+                    bf.free()
+                return QepSjResult(anchor=anchor, count=view.count,
+                                   anchor_ids=view,
+                                   columns={anchor: view},
+                                   approx_tables=approx)
+            tuples: Iterator[Tuple[int, ...]] = op_sjoin(
+                ctx, anchor, anchor_stream, extra_tables
+            )
+            for table, bf in post_blooms:
+                tuples = op_probe_bf(ctx, bf, tuples, position[table])
+            columns, count = op_store_columns(ctx, tuples, order)
+        else:
+            anchor_chunks = self._anchor_chunks(groups)
+            if not extra_tables:
+                view = self._materialize_anchor_chunks(anchor_chunks)
+                for _, bf in post_blooms:
+                    bf.free()
+                return QepSjResult(anchor=anchor, count=view.count,
+                                   anchor_ids=view,
+                                   columns={anchor: view},
+                                   approx_tables=approx)
+            chunks = op_sjoin_chunks(ctx, anchor, anchor_chunks,
+                                     extra_tables)
+            for table, bf in post_blooms:
+                chunks = op_probe_bf_chunks(bf, chunks, position[table])
+            columns, count = op_store_columns_chunks(ctx, chunks, order)
+
         for _, bf in post_blooms:
             bf.free()
         for table, ids in post_selects:
@@ -244,6 +271,25 @@ class QepSjExecutor:
             return (rid for rid in stream if rid not in dead)
         return stream
 
+    def _anchor_chunks(self, groups: List[List[IdRun]]
+                       ) -> Iterator[List[int]]:
+        """Batch twin of :meth:`_anchor_stream`: qualifying anchor ids
+        in sorted page-sized chunks, tombstones dropped chunk-wise."""
+        anchor = self.ctx.bound.anchor
+        if groups:
+            chunks: Iterator[List[int]] = self.merge.stream_chunks(
+                groups, reserve_buffers=4)
+        else:
+            n = self.ctx.catalog.n_rows(anchor)
+            chunks = (list(range(i, min(i + CHUNK, n)))
+                      for i in range(0, n, CHUNK))
+        dead = self.ctx.catalog.tombstones.get(anchor)
+        if dead:
+            # chunks are sorted and deduplicated, so the sorted set
+            # difference equals the scalar per-id filter
+            return (difference_sorted(chunk, dead) for chunk in chunks)
+        return chunks
+
     def _materialize_anchor(self, stream: Iterator[int]) -> U32View:
         """Store the anchor ID list (the paper's ``Store`` cost)."""
         ctx = self.ctx
@@ -251,4 +297,15 @@ class QepSjExecutor:
         with ctx.label(STORE_LABEL):
             for value in stream:
                 builder.add(value)
+            return builder.finish()
+
+    def _materialize_anchor_chunks(self, chunks: Iterator[List[int]]
+                                   ) -> U32View:
+        """Batch twin of :meth:`_materialize_anchor` (same pages,
+        same ``Store`` charges, one append call per chunk)."""
+        ctx = self.ctx
+        builder = U32FileBuilder(ctx.store, ctx.ram, label="anchor ids")
+        with ctx.label(STORE_LABEL):
+            for chunk in chunks:
+                builder.append_words(chunk)
             return builder.finish()

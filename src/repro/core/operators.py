@@ -4,13 +4,24 @@ Each operator charges its flash and channel traffic to a cost label so
 the executor can reproduce the paper's per-operator decomposition
 (Figures 15/16): ``Vis``, ``CI``, ``Merge``, ``SJoin``, ``Bloom``,
 ``Store``, ``Project``.
+
+Most operators exist in two granularities: the scalar id-at-a-time
+generators (the reference engine, ``REPRO_SCALAR_EXEC=1``) and the
+batch ``*_chunks`` pipelines that move one decoded page of ids per
+step.  A batch pipeline chunk is **column-major**: ``cols[0]`` is the
+anchor-id page, ``cols[i]`` the matching ids of the i-th joined table.
+Flash access patterns, RAM buffer lifetimes and cost labels are
+identical between the two engines -- only the host-Python work per id
+differs.
 """
 
 from __future__ import annotations
 
+from itertools import compress
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.catalog import SecureCatalog
+from repro.core.execmode import scalar_exec
 from repro.hardware.token import SecureToken
 from repro.index.bloom import BloomFilter
 from repro.index.climbing import Predicate as IndexPredicate
@@ -25,6 +36,9 @@ SJOIN_LABEL = "SJoin"
 BLOOM_LABEL = "Bloom"
 STORE_LABEL = "Store"
 PROJECT_LABEL = "Project"
+
+#: a column-major page of joined ids flowing through the batch pipeline
+Chunk = List[List[int]]
 
 
 class ExecContext:
@@ -82,10 +96,20 @@ def op_vis(ctx: ExecContext, table: str,
     Results are cached per (table, columns): the paper notes the
     redundant lookup in Cross-Post plans "can be easily avoided in
     practice", and repeated identical Vis requests would be charged
-    twice otherwise.
+    twice otherwise.  An id-only request (``columns=()``) is also
+    served from any cached result of the same table -- every cached
+    entry was computed under the same visible predicates and already
+    carries the sorted id list, so paying a second channel round trip
+    for a subset would be pure waste.
     """
     key = (table, tuple(columns))
     if key not in ctx._vis_cache:
+        if not columns:
+            # any cached superset of the same table serves pure ids
+            for (cached_table, _), cached in ctx._vis_cache.items():
+                if cached_table == table:
+                    ctx._vis_cache[key] = VisResult(ids=cached.ids)
+                    return ctx._vis_cache[key]
         preds = to_vis_predicates(ctx.bound.visible_selections(table))
         with ctx.label(VIS_LABEL):
             ctx._vis_cache[key] = ctx.vis.vis(
@@ -166,6 +190,46 @@ def op_sjoin(ctx: ExecContext, anchor: str, anchor_ids: Iterable[int],
         buf.free()
 
 
+def op_sjoin_chunks(ctx: ExecContext, anchor: str,
+                    anchor_chunks: Iterator[List[int]],
+                    tables: Sequence[str]) -> Iterator[Chunk]:
+    """Batch SJoin: column-major pages of ``(anchor, *tables)`` ids.
+
+    Walks ``SKT(anchor)`` exactly like :func:`op_sjoin` -- each SKT
+    page read once when the sorted anchor stream first touches it, one
+    RAM buffer held, reads charged to ``SJoin`` -- but decodes only the
+    needed rows, one precompiled-struct call each.
+    """
+    skt = ctx.catalog.skt(anchor)
+    heap = skt.heap
+    rows_per_page = heap.rows_per_page
+    row_width = heap.codec.row_width
+    sub, reorder = skt.batch_decoder(tables)
+    unpack_from = sub.unpack_from
+    buf = ctx.ram.alloc_buffer("sjoin page")
+    try:
+        cur_page = -1
+        raw = b""
+        for chunk in anchor_chunks:
+            if not chunk:
+                continue
+            cols: Chunk = [chunk] + [[] for _ in tables]
+            appends = [c.append for c in cols[1:]]
+            for aid in chunk:
+                page = aid // rows_per_page
+                if page != cur_page:
+                    with ctx.label(SJOIN_LABEL):
+                        raw = heap.read_page_raw(page)
+                    cur_page = page
+                row = unpack_from(raw, (aid - page * rows_per_page)
+                                  * row_width)
+                for append, slot in zip(appends, reorder):
+                    append(row[slot])
+            yield cols
+    finally:
+        buf.free()
+
+
 # ---------------------------------------------------------------------------
 # Bloom filters
 # ---------------------------------------------------------------------------
@@ -177,7 +241,10 @@ def op_build_bf(ctx: ExecContext, ids: Iterable[int], n_items: int,
     with ctx.label(label):
         bf = BloomFilter(ctx.ram, n_items, max_bytes=max_bytes,
                          label="post-filter bloom")
-        bf.add_all(ids)
+        if isinstance(ids, (list, tuple)):
+            bf.add_many(ids)
+        else:
+            bf.add_all(ids)
     return bf
 
 
@@ -188,6 +255,20 @@ def op_probe_bf(ctx: ExecContext, bf: BloomFilter,
     for tup in tuples:
         if tup[position] in bf:
             yield tup
+
+
+def op_probe_bf_chunks(bf: BloomFilter, chunks: Iterator[Chunk],
+                       position: int) -> Iterator[Chunk]:
+    """Batch ``ProbeBF``: filter column-major chunks by one Bloom probe
+    per id (identical bits to the scalar probe)."""
+    for cols in chunks:
+        keep = bf.contains_many(cols[position])
+        if all(keep):
+            yield cols
+            continue
+        filtered = [list(compress(col, keep)) for col in cols]
+        if filtered[0]:
+            yield filtered
 
 
 # ---------------------------------------------------------------------------
@@ -213,6 +294,28 @@ def op_store_columns(ctx: ExecContext, tuples: Iterator[Tuple[int, ...]],
             for value, builder in zip(tup, builders):
                 builder.add(value)
             count += 1
+        views = {t: b.finish() for t, b in zip(tables, builders)}
+    return views, count
+
+
+def op_store_columns_chunks(ctx: ExecContext, chunks: Iterator[Chunk],
+                            tables: Sequence[str]
+                            ) -> Tuple[Dict[str, U32View], int]:
+    """Batch Store: append whole column pages per call.
+
+    Writes byte-identical column files to :func:`op_store_columns`
+    (same page flush points, same ``Store``-labelled charges).
+    """
+    builders = [
+        U32FileBuilder(ctx.store, ctx.ram, label=f"store {t}")
+        for t in tables
+    ]
+    count = 0
+    with ctx.label(STORE_LABEL):
+        for cols in chunks:
+            for col, builder in zip(cols, builders):
+                builder.append_words(col)
+            count += len(cols[0])
         views = {t: b.finish() for t, b in zip(tables, builders)}
     return views, count
 
@@ -248,6 +351,7 @@ class PostSelectFilter:
         (exactly) in the Vis ID list."""
         ctx = self.ctx
         tables = list(columns)
+        batch = not scalar_exec()
         for pass_no in range(self.n_passes):
             chunk = set(
                 self.ids[pass_no * self.chunk_size:
@@ -256,8 +360,13 @@ class PostSelectFilter:
             with ctx.ram.reserve(len(chunk) * 4, "post-select chunk"):
                 keep: List[bool] = []
                 with ctx.label(PROJECT_LABEL):
-                    for value in columns[table].iterate(ctx.ram):
-                        keep.append(value in chunk)
+                    if batch:
+                        contains = chunk.__contains__
+                        for page in columns[table].iter_pages(ctx.ram):
+                            keep.extend(map(contains, page))
+                    else:
+                        for value in columns[table].iterate(ctx.ram):
+                            keep.append(value in chunk)
                 if pass_no == 0:
                     survivors = keep
                 else:
@@ -267,10 +376,18 @@ class PostSelectFilter:
             for _ in tables
         ]
         with ctx.label(PROJECT_LABEL):
-            for t, b in zip(tables, builders):
-                for i, value in enumerate(columns[t].iterate(ctx.ram)):
-                    if survivors[i]:
-                        b.add(value)
+            if batch:
+                for t, b in zip(tables, builders):
+                    pos = 0
+                    for page in columns[t].iter_pages(ctx.ram):
+                        b.append_words(list(compress(
+                            page, survivors[pos:pos + len(page)])))
+                        pos += len(page)
+            else:
+                for t, b in zip(tables, builders):
+                    for i, value in enumerate(columns[t].iterate(ctx.ram)):
+                        if survivors[i]:
+                            b.add(value)
             views = {t: b.finish() for t, b in zip(tables, builders)}
         new_count = sum(survivors)
         return views, new_count

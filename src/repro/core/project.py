@@ -20,6 +20,7 @@ accesses per QEPSJ result row).
 from __future__ import annotations
 
 import heapq
+from itertools import compress
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.operators import (
@@ -173,8 +174,13 @@ class ProjectionExecutor:
                              max_bytes=max(1024,
                                            ctx.ram.free_bytes - reserve),
                              label="project bloom")
-            bf.add_all(sj.columns[table].iterate(ctx.ram, "qepsj column"))
-            filtered = [row for row in vis.rows if row[0] in bf]
+            # one add / one probe batch per page -- bit-identical to
+            # the scalar per-id loop, same column reads and charges
+            for page in sj.columns[table].iter_pages(ctx.ram,
+                                                     "qepsj column"):
+                bf.add_many(page)
+            keep = bf.contains_many([row[0] for row in vis.rows])
+            filtered = list(compress(vis.rows, keep))
             bf.free()
         return filtered
 
@@ -225,12 +231,17 @@ class ProjectionExecutor:
             with ctx.ram.reserve(len(chunk_rows) * entry_bytes,
                                  "mjoin chunk"):
                 with ctx.label(PROJECT_LABEL):
-                    out_rows = [
-                        (pos, *chunk[rid])
-                        for pos, rid in enumerate(
-                            column.iterate(ctx.ram, "qepsj column"))
-                        if rid in chunk
-                    ]
+                    # page-at-a-time pass over the stored QEPSJ column
+                    out_rows: List[Tuple] = []
+                    pos = 0
+                    for page in column.iter_pages(ctx.ram,
+                                                  "qepsj column"):
+                        out_rows.extend(
+                            (pos + i, *chunk[rid])
+                            for i, rid in enumerate(page)
+                            if rid in chunk
+                        )
+                        pos += len(page)
                     heaps.append(HeapFile.build(
                         ctx.store, f"__mjoin_{table}_{id(self)}_{pass_no}",
                         codec, out_rows, ctx.token.page_size,

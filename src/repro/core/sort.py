@@ -34,6 +34,7 @@ import heapq
 import itertools
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
+from repro.core.execmode import scalar_exec
 from repro.core.operators import ExecContext
 from repro.core.plan import OrderPlan, SortMethod
 from repro.errors import PlanError
@@ -203,15 +204,21 @@ class ExternalSorter:
                                      label="sort spill")
             files.append(builder.file)
             marks: List[Tuple[int, int]] = []
+            batch = not scalar_exec()
             chunk = first
             while chunk:
                 with self.ram.reserve(len(chunk) * self.codec.entry_bytes,
                                       "sort chunk"):
                     chunk.sort()
                     start = builder.mark()
-                    for record in chunk:
-                        for word in record:
-                            builder.add(word)
+                    if batch:
+                        builder.append_words(
+                            [word for record in chunk for word in record]
+                        )
+                    else:
+                        for record in chunk:
+                            for word in record:
+                                builder.add(word)
                     marks.append((start, builder.mark() - start))
                 chunk = list(itertools.islice(rest, capacity))
             builder.finish()
@@ -244,9 +251,18 @@ class ExternalSorter:
             files.append(builder.file)
             iters = [self._records(v) for v in victims]
             try:
-                for record in heapq.merge(*iters):
-                    for word in record:
-                        builder.add(word)
+                if scalar_exec():
+                    for record in heapq.merge(*iters):
+                        for word in record:
+                            builder.add(word)
+                else:
+                    pending: List[int] = []
+                    for record in heapq.merge(*iters):
+                        pending.extend(record)
+                        if len(pending) >= 512:
+                            builder.append_words(pending)
+                            pending = []
+                    builder.append_words(pending)
             finally:
                 for i in iters:
                     i.close()
@@ -255,14 +271,33 @@ class ExternalSorter:
         return runs
 
     def _records(self, view: U32View) -> Iterator[Record]:
-        """Group a run's packed words back into records (one buffer)."""
+        """Group a run's packed words back into records (one buffer).
+
+        Batch mode regroups one decoded page per step (records may
+        straddle page boundaries, so a word carry is kept); the page
+        reads are :meth:`~repro.storage.runs.U32View.iterate`'s.
+        """
         words = self.codec.words
-        record: List[int] = []
-        for word in view.iterate(self.ram, label="sort run"):
-            record.append(word)
-            if len(record) == words:
-                yield tuple(record)
-                record = []
+        if scalar_exec():
+            record: List[int] = []
+            for word in view.iterate(self.ram, label="sort run"):
+                record.append(word)
+                if len(record) == words:
+                    yield tuple(record)
+                    record = []
+            return
+        pages = view.iter_pages(self.ram, label="sort run")
+        try:
+            carry: List[int] = []
+            for page in pages:
+                if carry:
+                    page = carry + page
+                whole = len(page) - len(page) % words
+                for i in range(0, whole, words):
+                    yield tuple(page[i:i + words])
+                carry = page[whole:]
+        finally:
+            pages.close()
 
     def _merge(self, runs: List[U32View],
                files: List[FlashFile]) -> Iterator[Record]:

@@ -112,6 +112,32 @@ class Ftl:
         )
         return data
 
+    def peek(self, lpn: int) -> bytes:
+        """Uncharged read of a logical page's full stored payload.
+
+        Exists solely so the :class:`~repro.flash.store.PageCache` can
+        be filled read-through: the *user-visible* transfer is still
+        charged (:meth:`charge_read`) exactly as :meth:`read` would
+        charge it; peeking never moves simulated bytes on its own.
+        """
+        self._check_lpn(lpn)
+        ppn = self._l2p[lpn]
+        return b"" if ppn == _UNMAPPED else self.nand.read_page(ppn)
+
+    def charge_read(self, nbytes: int) -> None:
+        """Charge one page read moving ``nbytes`` into RAM.
+
+        The exact Table-1 charge :meth:`read` applies -- used by the
+        page cache so a cache hit costs the same simulated time and
+        counters as the read it replaced.
+        """
+        self.ledger.charge(
+            READ,
+            self.params.read_time_us(nbytes),
+            pages_read=1,
+            bytes_to_ram=nbytes,
+        )
+
     def trim(self, lpn: int) -> None:
         """Free logical page ``lpn``; its physical page becomes garbage."""
         self._check_lpn(lpn)

@@ -5,15 +5,66 @@ B+-tree nodes, climbing-index ID runs, temporary merge runs -- is a
 :class:`FlashFile`: an ordered sequence of logical flash pages that can
 be appended to, rewritten page-wise, and freed.  :class:`FlashStore`
 is the directory of those files.
+
+Reads go through a small read-through :class:`PageCache` keyed on the
+logical page number.  The cache is a *host-Python* optimization only:
+a hit skips the FTL mapping and NAND array lookup, but the simulated
+read is charged exactly as if the page had been fetched from flash
+(same time, same ``pages_read``/``bytes_to_ram`` counters) -- cached
+bytes never live in accounted secure RAM and never save simulated I/O.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import Dict, Optional
 
 from repro.errors import BadAddressError, StorageError
 from repro.flash.ftl import Ftl
+
+#: default page-cache capacity, in pages
+PAGE_CACHE_CAPACITY = 512
+
+
+class PageCache:
+    """LRU cache of full logical-page payloads, with hit/miss counters."""
+
+    __slots__ = ("capacity", "hits", "misses", "_pages")
+
+    def __init__(self, capacity: int = PAGE_CACHE_CAPACITY):
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._pages: "OrderedDict[int, bytes]" = OrderedDict()
+
+    def get(self, lpn: int) -> Optional[bytes]:
+        """The cached payload of ``lpn``, refreshing its LRU slot."""
+        data = self._pages.get(lpn)
+        if data is None:
+            self.misses += 1
+            return None
+        self._pages.move_to_end(lpn)
+        self.hits += 1
+        return data
+
+    def put(self, lpn: int, data: bytes) -> None:
+        """Insert/refresh ``lpn``; evicts the LRU page beyond capacity."""
+        pages = self._pages
+        pages[lpn] = data
+        pages.move_to_end(lpn)
+        while len(pages) > self.capacity:
+            pages.popitem(last=False)
+
+    def invalidate(self, lpn: int) -> None:
+        """Drop ``lpn`` (its logical page was freed or rewritten)."""
+        self._pages.pop(lpn, None)
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def __len__(self) -> int:
+        return len(self._pages)
 
 
 class FlashFile:
@@ -53,7 +104,9 @@ class FlashFile:
         """Append one page of payload; returns its index in the file."""
         self._check_open()
         (lpn,) = self._store.ftl.allocate(1)
+        data = bytes(data)
         self._store.ftl.write(lpn, data)
+        self._store.page_cache.put(lpn, data)
         self._lpns.append(lpn)
         self._page_fill.append(len(data))
         return len(self._lpns) - 1
@@ -62,22 +115,45 @@ class FlashFile:
         """Rewrite page ``index`` (out of place, via the FTL)."""
         self._check_open()
         self._check_index(index)
+        data = bytes(data)
         self._store.ftl.write(self._lpns[index], data)
+        self._store.page_cache.put(self._lpns[index], data)
         self._page_fill[index] = len(data)
 
     def read_page(self, index: int, nbytes: Optional[int] = None,
                   offset: int = 0) -> bytes:
-        """Read page ``index``; move only ``nbytes`` from ``offset`` into RAM."""
+        """Read page ``index``; move only ``nbytes`` from ``offset`` into RAM.
+
+        Served through the store's :class:`PageCache`: the payload
+        bytes may come from the cache, but the simulated transfer is
+        always charged exactly as an FTL read of the same ``nbytes``
+        from ``offset`` (the cache saves host-Python work, never
+        simulated I/O).
+        """
         self._check_open()
         self._check_index(index)
-        return self._store.ftl.read(self._lpns[index], nbytes, offset)
+        lpn = self._lpns[index]
+        cache = self._store.page_cache
+        full = cache.get(lpn)
+        if full is None:
+            full = self._store.ftl.peek(lpn)
+            cache.put(lpn, full)
+        data = full
+        if offset:
+            data = data[offset:]
+        if nbytes is not None:
+            data = data[:nbytes]
+        self._store.ftl.charge_read(len(data))
+        return data
 
     def free(self) -> None:
         """Release every page of the file back to the FTL."""
         if self.closed:
             return
+        cache = self._store.page_cache
         for lpn in self._lpns:
             self._store.ftl.trim(lpn)
+            cache.invalidate(lpn)
         self._lpns.clear()
         self._page_fill.clear()
         self.closed = True
@@ -87,8 +163,10 @@ class FlashFile:
 class FlashStore:
     """Directory of :class:`FlashFile` objects over one FTL instance."""
 
-    def __init__(self, ftl: Ftl):
+    def __init__(self, ftl: Ftl,
+                 page_cache_capacity: int = PAGE_CACHE_CAPACITY):
         self.ftl = ftl
+        self.page_cache = PageCache(page_cache_capacity)
         self._files: Dict[str, FlashFile] = {}
         self._temp_ids = itertools.count()
 
@@ -121,6 +199,15 @@ class FlashStore:
     @property
     def n_files(self) -> int:
         return len(self._files)
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Page-cache hit/miss/size counters (host-perf diagnostics)."""
+        return {
+            "hits": self.page_cache.hits,
+            "misses": self.page_cache.misses,
+            "cached_pages": len(self.page_cache),
+            "capacity": self.page_cache.capacity,
+        }
 
     def pages_used(self) -> int:
         """Pages held by all live files."""

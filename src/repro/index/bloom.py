@@ -15,7 +15,7 @@ results are reproducible across runs.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Sequence
 
 from repro.errors import RamExhausted
 from repro.hardware.ram import Allocation, SecureRam
@@ -63,6 +63,10 @@ class BloomFilter:
         RAM.  Such filters are long-lived and grown by appending.
         """
         self.n_hashes = n_hashes
+        #: per-hash-function additive offsets, precomputed once so the
+        #: batch paths mix without rebuilding them per item
+        self._hash_offsets = [i * 0xA24BAED4963EE407 & _MASK64
+                              for i in range(n_hashes)]
         self.n_items = max(1, n_items)
         ideal_bytes = max(1, (bits_per_item * self.n_items + 7) // 8)
         budget = ideal_bytes
@@ -110,11 +114,59 @@ class BloomFilter:
         for item in items:
             self.add(item)
 
+    def add_many(self, items: Sequence[int]) -> None:
+        """Insert a whole page of IDs with one tight, inlined loop.
+
+        Sets exactly the bits a scalar :meth:`add` loop would (the
+        SplitMix64 mixing is inlined, not changed).
+        """
+        bits = self._bits
+        m = self.m_bits
+        offsets = self._hash_offsets
+        for item in items:
+            x = (item + 0x9E3779B97F4A7C15) & _MASK64
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+            base = x ^ (x >> 31)
+            for off in offsets:
+                y = (base + off) & _MASK64
+                y = (y + 0x9E3779B97F4A7C15) & _MASK64
+                y = ((y ^ (y >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+                y = ((y ^ (y >> 27)) * 0x94D049BB133111EB) & _MASK64
+                pos = (y ^ (y >> 31)) % m
+                bits[pos >> 3] |= 1 << (pos & 7)
+        self.count_added += len(items)
+
     def __contains__(self, item: int) -> bool:
         return all(
             self._bits[pos >> 3] & (1 << (pos & 7))
             for pos in self._positions(item)
         )
+
+    def contains_many(self, items: Sequence[int]) -> List[bool]:
+        """Batch membership: one bool per item, scalar-identical."""
+        bits = self._bits
+        m = self.m_bits
+        offsets = self._hash_offsets
+        out: List[bool] = []
+        append = out.append
+        for item in items:
+            x = (item + 0x9E3779B97F4A7C15) & _MASK64
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+            base = x ^ (x >> 31)
+            hit = True
+            for off in offsets:
+                y = (base + off) & _MASK64
+                y = (y + 0x9E3779B97F4A7C15) & _MASK64
+                y = ((y ^ (y >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+                y = ((y ^ (y >> 27)) * 0x94D049BB133111EB) & _MASK64
+                pos = (y ^ (y >> 31)) % m
+                if not bits[pos >> 3] & (1 << (pos & 7)):
+                    hit = False
+                    break
+            append(hit)
+        return out
 
     def free(self) -> None:
         """Release the bit vector's RAM (no-op for unaccounted filters)."""

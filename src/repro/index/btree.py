@@ -39,6 +39,12 @@ class BPlusTree:
         self.height = height
         self.n_entries = n_entries
         self.n_leaves = n_leaves
+        # parsed-node memo: page -> (raw bytes identity, parsed node).
+        # The flash read (and its charge) still happens on every
+        # traversal; only the Python slicing of an unchanged page is
+        # skipped.  Entries are validated by raw-bytes identity, which
+        # the FlashStore page cache preserves for unmodified pages.
+        self._node_cache: dict[int, Tuple[bytes, tuple]] = {}
 
     # ------------------------------------------------------------------
     # capacities
@@ -127,24 +133,32 @@ class BPlusTree:
     # ------------------------------------------------------------------
     def _read_node(self, page: int):
         raw = self.file.read_page(page)
+        hit = self._node_cache.get(page)
+        if hit is not None and hit[0] is raw:
+            return hit[1]
+        node = self._parse_node(raw)
+        if len(self._node_cache) > 1024:
+            self._node_cache.clear()
+        self._node_cache[page] = (raw, node)
+        return node
+
+    def _parse_node(self, raw: bytes):
         kind = raw[0]
         n = int.from_bytes(raw[1:3], "little")
+        kw = self.key_width
         if kind == _LEAF:
-            stride = self.key_width + self.payload_width
-            keys, payloads = [], []
-            for i in range(n):
-                off = _HEADER + i * stride
-                keys.append(raw[off:off + self.key_width])
-                payloads.append(
-                    raw[off + self.key_width:off + stride])
+            stride = kw + self.payload_width
+            end = _HEADER + n * stride
+            keys = [raw[off:off + kw]
+                    for off in range(_HEADER, end, stride)]
+            payloads = [raw[off + kw:off + stride]
+                        for off in range(_HEADER, end, stride)]
             return _LEAF, keys, payloads
-        stride = self.key_width + _CHILD_W
-        keys, children = [], []
-        for i in range(n):
-            off = _HEADER + i * stride
-            keys.append(raw[off:off + self.key_width])
-            children.append(int.from_bytes(
-                raw[off + self.key_width:off + stride], "little"))
+        stride = kw + _CHILD_W
+        end = _HEADER + n * stride
+        keys = [raw[off:off + kw] for off in range(_HEADER, end, stride)]
+        children = [int.from_bytes(raw[off + kw:off + stride], "little")
+                    for off in range(_HEADER, end, stride)]
         return _INTERNAL, keys, children
 
     def _descend_to_leaf(self, key: bytes):
@@ -259,6 +273,7 @@ class BPlusTree:
             body = bytearray([_LEAF]) + (1).to_bytes(2, "little")
             body += key + payload
             self.file.write_page(self.root_page, bytes(body))
+            self._node_cache.pop(self.root_page, None)
             self.n_entries = 1
             return
         leaf, keys, payloads = self._descend_to_leaf(key)
@@ -275,6 +290,7 @@ class BPlusTree:
         for k, p in zip(keys, payloads):
             body += k + p
         self.file.write_page(leaf, bytes(body))
+        self._node_cache.pop(leaf, None)
         self.n_entries += 1
 
     def free(self) -> None:

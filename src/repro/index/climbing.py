@@ -40,7 +40,7 @@ from repro.index.btree import BPlusTree
 from repro.index.keys import KeyCodec
 from repro.storage.codec import ColumnType
 from repro.storage.heap import append_fixed_record
-from repro.storage.runs import U32FileBuilder, U32View
+from repro.storage.runs import U32FileBuilder, U32View, intersect_sorted
 
 _DESC_W = 8  # (start u32, count u32) per level
 
@@ -378,10 +378,11 @@ class ClimbingIndex:
             return out
         base: Set[int] = set()
         for view in level_views:
-            base.update(view.iterate(ram))
-        for child in candidates:
-            if child in base:
-                out.update(edge[child])
+            # same sequential reads as iterate(), one page per update
+            for page in view.iter_pages(ram):
+                base.update(page)
+        for child in intersect_sorted(candidates, base):
+            out.update(edge[child])
         return out
 
     def _matching_payloads(self, predicate: Predicate,

@@ -5,10 +5,17 @@ offset, so point access reads one page and transfers only the row's
 bytes (the I/O charge reflects that).  Sequential scans transfer whole
 pages.  This is the storage format of every hidden table image and of
 the Subtree Key Tables.
+
+Scans and page reads decode a whole page per call through the codec's
+precompiled struct (:meth:`~repro.storage.codec.RowCodec.unpack_rows`);
+bulk loads pack a whole page per call.  The flash I/O pattern -- and
+its simulated charges -- are unchanged from the scalar row-at-a-time
+loops.
 """
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 from repro.errors import StorageError
@@ -60,20 +67,21 @@ class HeapFile:
         """Bulk-load ``rows`` (in id order) into a new heap file.
 
         Holds one page buffer while building; the buffer is accounted in
-        secure RAM when ``ram`` is given.
+        secure RAM when ``ram`` is given.  Rows are packed one whole
+        page per codec call -- page payloads are byte-identical to the
+        scalar row loop's.
         """
         heap = cls(store.create(name), codec, page_size)
         buf = ram.alloc_buffer(f"heap build {name}") if ram else None
         try:
-            page = bytearray()
-            for row in rows:
-                page.extend(codec.pack(row))
-                heap.n_rows += 1
-                if len(page) + codec.row_width > page_size:
-                    heap.file.append_page(bytes(page))
-                    page.clear()
-            if page:
-                heap.file.append_page(bytes(page))
+            it = iter(rows)
+            per_page = heap.rows_per_page
+            while True:
+                chunk = list(islice(it, per_page))
+                if not chunk:
+                    break
+                heap.file.append_page(codec.pack_rows(chunk))
+                heap.n_rows += len(chunk)
         finally:
             if buf:
                 buf.free()
@@ -120,6 +128,22 @@ class HeapFile:
                                   offset=offset)
         return self.codec.unpack_columns(raw, columns)
 
+    def _rows_on_page(self, page_idx: int) -> int:
+        """How many rows page ``page_idx`` holds."""
+        first = page_idx * self.rows_per_page
+        return max(0, min(self.rows_per_page, self.n_rows - first))
+
+    def read_page_raw(self, page_idx: int) -> bytes:
+        """Read one page's packed rows, raw.
+
+        Transfers (and charges) exactly the bytes a
+        :meth:`read_rows_on_page` of the same page would -- callers
+        decode selectively (batch SJoin decodes only qualifying rows).
+        """
+        n_here = self._rows_on_page(page_idx)
+        return self.file.read_page(page_idx,
+                                   nbytes=n_here * self.codec.row_width)
+
     def scan(self, columns: Optional[Sequence[int]] = None) -> Iterator[Tuple]:
         """Sequential scan in id order, one page in RAM at a time."""
         rid = 0
@@ -128,12 +152,11 @@ class HeapFile:
             raw = self.file.read_page(
                 page_idx, nbytes=n_here * self.codec.row_width
             )
-            for i in range(n_here):
-                chunk = raw[i * self.codec.row_width:(i + 1) * self.codec.row_width]
-                if columns is None:
-                    yield self.codec.unpack(chunk)
-                else:
-                    yield self.codec.unpack_columns(chunk, columns)
+            if columns is None:
+                yield from self.codec.unpack_rows(raw, n_here)
+            else:
+                yield from self.codec.unpack_rows_columns(raw, n_here,
+                                                          columns)
             rid += n_here
             if rid >= self.n_rows:
                 break
@@ -151,13 +174,9 @@ class HeapFile:
         if n_here <= 0:
             return []
         raw = self.file.read_page(page_idx, nbytes=n_here * self.codec.row_width)
-        out = []
-        for i in range(n_here):
-            chunk = raw[i * self.codec.row_width:(i + 1) * self.codec.row_width]
-            row = (self.codec.unpack(chunk) if columns is None
-                   else self.codec.unpack_columns(chunk, columns))
-            out.append((first + i, row))
-        return out
+        rows = (self.codec.unpack_rows(raw, n_here) if columns is None
+                else self.codec.unpack_rows_columns(raw, n_here, columns))
+        return list(enumerate(rows, first))
 
     def free(self) -> None:
         """Release the underlying flash file."""

@@ -12,16 +12,120 @@ Reading a view holds exactly **one** RAM buffer; writing holds one as
 well.  That is what makes the Merge operator's "one buffer per open
 (sub)list plus one output buffer" accounting real rather than
 aspirational.
+
+The vectorized execution core moves ids **a page at a time**:
+:meth:`U32View.iter_pages` / :meth:`U32View.read_page_words` decode a
+whole page of u32 words per call (zero-copy ``memoryview.cast("I")``
+on little-endian hosts) and :meth:`U32FileBuilder.append_words` packs
+a whole batch per call.  The sorted-run set primitives are the batch
+engine's in-RAM combinators: :func:`union_sorted` merges union rounds
+(``core/merge.py``), :func:`difference_sorted` drops tombstoned ids
+from anchor chunks (``core/executor.py``), :func:`intersect_sorted`
+matches fk-delta candidates against base sublists
+(``index/climbing.py``), and :func:`galloping_search` drives the
+intersection cursor's in-page skips.  Page granularity, buffer
+accounting and flash charging are identical to the scalar paths.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional
+import sys
+from array import array
+from bisect import bisect_left
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.errors import StorageError
-from repro.flash.constants import ID_SIZE
+from repro.flash.constants import ID_SIZE, PAGE_SIZE
 from repro.flash.store import FlashFile, FlashStore
 from repro.hardware.ram import SecureRam
+
+#: ids per default-size page; memory-resident runs chunk at this size
+IDS_PER_PAGE = PAGE_SIZE // ID_SIZE
+
+#: fast zero-copy decode needs a 4-byte native unsigned int, little end
+_FAST_WORDS = sys.byteorder == "little" and array("I").itemsize == ID_SIZE
+
+
+def decode_words(raw: bytes) -> List[int]:
+    """Decode packed little-endian u32 words into a list of ints.
+
+    Equals ``[int.from_bytes(raw[i:i+4], "little") ...]`` but one C
+    call on little-endian hosts.
+    """
+    if len(raw) % ID_SIZE:
+        raise StorageError(
+            f"{len(raw)} bytes are not a whole number of u32 words"
+        )
+    if _FAST_WORDS:
+        return list(memoryview(raw).cast("I"))
+    return [int.from_bytes(raw[i:i + ID_SIZE], "little")
+            for i in range(0, len(raw), ID_SIZE)]
+
+
+def encode_words(values: Sequence[int]) -> bytes:
+    """Pack ints into little-endian u32 bytes (inverse of decode)."""
+    if _FAST_WORDS:
+        return array("I", values).tobytes()
+    return b"".join(int(v).to_bytes(ID_SIZE, "little") for v in values)
+
+
+# ---------------------------------------------------------------------------
+# sorted-run set operations (RAM-resident batch primitives)
+# ---------------------------------------------------------------------------
+
+def galloping_search(values: Sequence[int], target: int,
+                     lo: int = 0) -> int:
+    """Position of the first ``values[i] >= target`` at or after ``lo``.
+
+    Gallops (doubling steps) from ``lo`` before binary-searching the
+    bracketed range -- O(log d) for a match d positions ahead, the
+    right shape for skewed merge/intersection advances.
+    """
+    n = len(values)
+    if lo >= n or values[lo] >= target:
+        return lo
+    step = 1
+    prev = lo
+    pos = lo + 1
+    while pos < n and values[pos] < target:
+        prev = pos
+        step <<= 1
+        pos = lo + step
+    return bisect_left(values, target, prev + 1, min(pos + 1, n))
+
+
+def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Sorted, deduplicated intersection of two sorted runs."""
+    if not a or not b:
+        return []
+    return sorted(set(a).intersection(b))
+
+
+def union_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Sorted, deduplicated union of two sorted runs."""
+    if not a:
+        return sorted(set(b))
+    if not b:
+        return sorted(set(a))
+    return sorted(set(a).union(b))
+
+
+def difference_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Sorted, deduplicated ``a - b`` of two sorted runs."""
+    if not a:
+        return []
+    if not b:
+        return sorted(set(a))
+    return sorted(set(a).difference(b))
+
+
+def dedupe_sorted(values: List[int], last: Optional[int] = None
+                  ) -> List[int]:
+    """Drop repeats from a sorted chunk (and a leading ``== last``)."""
+    out = list(dict.fromkeys(values))
+    if last is not None and out and out[0] == last:
+        del out[0]
+    return out
 
 
 class U32FileBuilder:
@@ -48,6 +152,22 @@ class U32FileBuilder:
         if len(self._buffer) >= self.page_size:
             self.file.append_page(bytes(self._buffer))
             self._buffer.clear()
+
+    def append_words(self, values: Sequence[int]) -> None:
+        """Append a whole batch of values in one encode call.
+
+        Flushes exactly the same full pages as a scalar ``add`` loop
+        would (the tail stays buffered), so the flash write pattern --
+        and its charges -- are identical.
+        """
+        if not values:
+            return
+        self._buffer += encode_words(values)
+        self.count += len(values)
+        page_size = self.page_size
+        while len(self._buffer) >= page_size:
+            self.file.append_page(bytes(self._buffer[:page_size]))
+            del self._buffer[:page_size]
 
     def extend(self, values: Iterable[int]) -> None:
         """Append every value of ``values`` in order."""
@@ -84,6 +204,63 @@ class U32View:
         self.start = start
         self.count = count
 
+    def iter_pages(self, ram: Optional[SecureRam] = None,
+                   label: str = "run read") -> Iterator[List[int]]:
+        """Yield the view's ids one decoded page-chunk at a time.
+
+        The flash access pattern is exactly :meth:`iterate`'s -- each
+        touched page read once, only the view's bytes transferred and
+        charged, one RAM buffer held while open -- but ids arrive as
+        whole ``List[int]`` pages decoded in a single call.
+        """
+        if self.count == 0:
+            return
+        buf = ram.alloc_buffer(label) if ram else None
+        try:
+            for chunk_index in range(self.n_page_chunks):
+                yield self.read_page_words(chunk_index)
+        finally:
+            if buf:
+                buf.free()
+
+    @property
+    def n_page_chunks(self) -> int:
+        """How many page-chunks the view spans (see :meth:`iter_pages`)."""
+        if self.count == 0:
+            return 0
+        page_size = self.file._store.ftl.params.page_size
+        first = self.start * ID_SIZE // page_size
+        last = (self.start + self.count - 1) * ID_SIZE // page_size
+        return last - first + 1
+
+    def read_page_words(self, chunk_index: int) -> List[int]:
+        """Decode the ``chunk_index``-th page-chunk of the view.
+
+        Chunks are delimited exactly as :meth:`iter_pages` yields them
+        (it is built on this method); the read transfers (and charges)
+        only the view's bytes on that page.
+        """
+        page_size = self.file._store.ftl.params.page_size
+        per_page = page_size // ID_SIZE
+        first_page = self.start * ID_SIZE // page_size
+        page_idx = first_page + chunk_index
+        lo = max(self.start, page_idx * per_page)
+        hi = min(self.start + self.count, (page_idx + 1) * per_page)
+        if hi <= lo:
+            raise StorageError(
+                f"chunk {chunk_index} out of range for u32 view of "
+                f"{self.file.name!r}"
+            )
+        raw = self.file.read_page(
+            page_idx, nbytes=(hi - lo) * ID_SIZE,
+            offset=(lo - page_idx * per_page) * ID_SIZE,
+        )
+        if len(raw) != (hi - lo) * ID_SIZE:
+            raise StorageError(
+                f"short read in u32 view of {self.file.name!r}"
+            )
+        return decode_words(raw)
+
     def iterate(self, ram: Optional[SecureRam] = None,
                 label: str = "run read") -> Iterator[int]:
         """Yield the ids in order, holding one RAM buffer while open.
@@ -91,36 +268,21 @@ class U32View:
         Each touched page is read once; only the bytes belonging to the
         view are transferred to RAM (and charged).
         """
-        if self.count == 0:
-            return
-        page_size = self.file._store.ftl.params.page_size
-        per_page = page_size // ID_SIZE
-        buf = ram.alloc_buffer(label) if ram else None
+        pages = self.iter_pages(ram, label)
         try:
-            pos = self.start
-            end = self.start + self.count
-            while pos < end:
-                page_idx = pos * ID_SIZE // page_size
-                in_page = pos - page_idx * per_page
-                take = min(end - pos, per_page - in_page)
-                raw = self.file.read_page(
-                    page_idx, nbytes=take * ID_SIZE, offset=in_page * ID_SIZE
-                )
-                if len(raw) != take * ID_SIZE:
-                    raise StorageError(
-                        f"short read in u32 view of {self.file.name!r}"
-                    )
-                for i in range(take):
-                    yield int.from_bytes(raw[i * ID_SIZE:(i + 1) * ID_SIZE],
-                                         "little")
-                pos += take
+            for page in pages:
+                yield from page
         finally:
-            if buf:
-                buf.free()
+            # closing this iterator must release the page buffer *now*
+            # (Merge frees unexhausted inputs deterministically)
+            pages.close()
 
     def to_list(self, ram: Optional[SecureRam] = None) -> List[int]:
         """Materialize the whole view as a Python list (caller accounts RAM)."""
-        return list(self.iterate(ram))
+        out: List[int] = []
+        for page in self.iter_pages(ram):
+            out.extend(page)
+        return out
 
     def _read_at(self, index: int) -> int:
         """Point-read one id of the view (4 bytes moved, charged)."""
@@ -213,3 +375,13 @@ class IdRun:
         if self.ids is not None:
             return iter(self.ids)
         return self.view.iterate(ram, label)
+
+    def iter_pages(self, ram: Optional[SecureRam] = None,
+                   label: str = "run read") -> Iterator[List[int]]:
+        """Yield the ids in page-sized chunks (see
+        :meth:`U32View.iter_pages`); RAM-resident runs slice their list
+        without any I/O or extra accounting."""
+        if self.ids is not None:
+            return (self.ids[i:i + IDS_PER_PAGE]
+                    for i in range(0, len(self.ids), IDS_PER_PAGE))
+        return self.view.iter_pages(ram, label)

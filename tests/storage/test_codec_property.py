@@ -1,0 +1,188 @@
+"""Property tests: batch codec calls equal scalar loops, set ops equal
+naive set algebra.
+
+The vectorized execution core trusts
+:meth:`~repro.storage.codec.RowCodec.pack_rows` /
+:meth:`~repro.storage.codec.RowCodec.unpack_rows` /
+:meth:`~repro.storage.codec.RowCodec.unpack_rows_columns` to be
+byte- and value-identical to the per-row / per-column reference
+methods, and the sorted-run primitives of :mod:`repro.storage.runs`
+to match plain Python set algebra.  Hypothesis hunts the edge cases
+(NUL padding, negative ints, empty runs, duplicate ids).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.storage.codec import CharType, FloatType, IntType, RowCodec
+from repro.storage.runs import (
+    decode_words,
+    dedupe_sorted,
+    difference_sorted,
+    encode_words,
+    galloping_search,
+    intersect_sorted,
+    union_sorted,
+)
+
+# ---------------------------------------------------------------------------
+# value strategies per column type
+# ---------------------------------------------------------------------------
+
+def _int_values(size: int):
+    bound = 1 << (8 * size - 1)
+    return st.integers(min_value=-bound, max_value=bound - 1)
+
+
+#: chars whose UTF-8 stays within budget and round-trips the NUL strip
+_CHAR_ALPHABET = st.characters(
+    min_codepoint=1, max_codepoint=0x10FFFF,
+    blacklist_categories=("Cs",),
+)
+
+
+def _char_values(size: int):
+    return (
+        st.text(alphabet=_CHAR_ALPHABET, max_size=size)
+        .filter(lambda s: len(s.encode("utf-8")) <= size)
+        .filter(lambda s: not s.endswith("\x00"))
+    )
+
+
+_FLOATS = st.floats(allow_nan=False)  # NaN != NaN breaks equality checks
+
+_COLUMN_TYPES = st.one_of(
+    st.sampled_from([IntType(2), IntType(4), IntType(8), FloatType()]),
+    st.integers(min_value=1, max_value=12).map(CharType),
+)
+
+
+@st.composite
+def _codec_and_rows(draw):
+    types = draw(st.lists(_COLUMN_TYPES, min_size=1, max_size=5))
+    row = st.tuples(*[
+        _int_values(t.size) if isinstance(t, IntType)
+        else (_FLOATS if isinstance(t, FloatType)
+              else _char_values(t.size))
+        for t in types
+    ])
+    rows = draw(st.lists(row, min_size=0, max_size=20))
+    return RowCodec(types), rows
+
+
+# ---------------------------------------------------------------------------
+# batch == scalar
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=150, deadline=None)
+@given(_codec_and_rows())
+def test_pack_rows_equals_scalar_pack_loop(codec_rows):
+    codec, rows = codec_rows
+    batch = codec.pack_rows(rows)
+    scalar = b"".join(codec.pack(r) for r in rows)
+    assert batch == scalar
+
+
+@settings(max_examples=150, deadline=None)
+@given(_codec_and_rows())
+def test_unpack_rows_round_trips_scalar_unpack(codec_rows):
+    codec, rows = codec_rows
+    raw = codec.pack_rows(rows)
+    batch = codec.unpack_rows(raw, len(rows))
+    scalar = [
+        codec.unpack(raw[i * codec.row_width:(i + 1) * codec.row_width])
+        for i in range(len(rows))
+    ]
+    assert batch == scalar
+    # chars round-trip modulo NUL stripping; here inputs avoid trailing
+    # NULs, so the decoded rows equal the originals exactly
+    assert batch == [tuple(r) for r in rows]
+
+
+@settings(max_examples=150, deadline=None)
+@given(_codec_and_rows(), st.data())
+def test_unpack_rows_columns_equals_scalar_loop(codec_rows, data):
+    codec, rows = codec_rows
+    n_cols = len(codec.types)
+    columns = data.draw(st.lists(
+        st.integers(min_value=0, max_value=n_cols - 1),
+        min_size=1, max_size=n_cols, unique=True,
+    ))
+    raw = codec.pack_rows(rows)
+    batch = codec.unpack_rows_columns(raw, len(rows), columns)
+    scalar = [
+        codec.unpack_columns(
+            raw[i * codec.row_width:(i + 1) * codec.row_width], columns)
+        for i in range(len(rows))
+    ]
+    assert batch == scalar
+
+
+def test_char_nul_padding_edge_cases():
+    """Short strings NUL-pad; decoding strips the padding only."""
+    codec = RowCodec([CharType(6), IntType(4)])
+    rows = [("", 1), ("a", -2), ("abcdef", 3), ("éé", 4)]
+    raw = codec.pack_rows(rows)
+    assert raw == b"".join(codec.pack(r) for r in rows)
+    assert codec.unpack_rows(raw, len(rows)) == rows
+
+
+# ---------------------------------------------------------------------------
+# u32 word codec + sorted-run set operations
+# ---------------------------------------------------------------------------
+
+_U32 = st.integers(min_value=0, max_value=2**32 - 1)
+_RUN = st.lists(_U32, max_size=60).map(lambda xs: sorted(set(xs)))
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_U32, max_size=200))
+def test_word_codec_round_trip(values):
+    raw = encode_words(values)
+    assert raw == b"".join(v.to_bytes(4, "little") for v in values)
+    assert decode_words(raw) == values
+
+
+@settings(max_examples=200, deadline=None)
+@given(_RUN, _RUN)
+def test_set_ops_equal_naive_sets(a, b):
+    assert intersect_sorted(a, b) == sorted(set(a) & set(b))
+    assert union_sorted(a, b) == sorted(set(a) | set(b))
+    assert difference_sorted(a, b) == sorted(set(a) - set(b))
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_U32, max_size=60).map(sorted), _U32, st.data())
+def test_galloping_search_equals_linear_scan(values, target, data):
+    lo = data.draw(st.integers(min_value=0, max_value=len(values)))
+    got = galloping_search(values, target, lo)
+    expected = next(
+        (i for i in range(lo, len(values)) if values[i] >= target),
+        len(values),
+    )
+    assert got == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_U32, max_size=60).map(sorted))
+def test_dedupe_sorted_equals_scalar_dedupe(values):
+    assert dedupe_sorted(values) == sorted(set(values))
+    if values:
+        last = values[0]
+        assert dedupe_sorted(values, last) == sorted(
+            v for v in set(values) if v != last
+        )
+
+
+def test_pack_rows_rejects_wrong_arity_like_scalar_pack():
+    import pytest
+
+    from repro.errors import StorageError
+
+    codec = RowCodec([IntType(4)])
+    with pytest.raises(StorageError):
+        codec.pack((1, 2))
+    with pytest.raises(StorageError):
+        codec.pack_rows([(1, 2)])
+    with pytest.raises(StorageError):
+        codec.pack_rows([(1,), ()])
