@@ -2,8 +2,8 @@
 """Fold a pytest-benchmark JSON dump into the perf-trajectory point.
 
 The CI perf-smoke job runs ``benchmarks/test_fig10_pre_vs_post.py``,
-``benchmarks/test_fig14_throughput.py`` and
-``benchmarks/test_sort_topk.py`` with
+``benchmarks/test_fig14_throughput.py``, ``benchmarks/test_sort_topk.py``
+and ``benchmarks/test_compaction_churn.py`` with
 ``--benchmark-json=bench_raw.json`` and then calls::
 
     python scripts/perf_smoke_report.py bench_raw.json --pr 5
@@ -23,7 +23,8 @@ import json
 import pathlib
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-TABLES = ("fig10_pre_vs_post", "fig14_throughput", "sort_topk")
+TABLES = ("fig10_pre_vs_post", "fig14_throughput", "sort_topk",
+          "compaction_churn")
 
 
 def main() -> None:

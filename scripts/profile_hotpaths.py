@@ -7,11 +7,14 @@ Usage::
         [--bench fig10] [--scalar] [--sort tottime|cumulative]
 
 Runs each benchmark driver (fig10 pre-vs-post, fig14 throughput,
-sort_topk) once under ``cProfile`` against freshly built databases and
-reports wall-clock plus the top-N hottest functions -- the evidence
-behind the vectorized-execution PR and the tool for finding the next
-interpretation-tax hot spot.  ``--scalar`` profiles the scalar
-reference engine (``REPRO_SCALAR_EXEC=1``) for before/after contrast.
+sort_topk, compaction churn) once under ``cProfile`` against freshly
+built databases and reports wall-clock plus the top-N hottest
+functions -- the evidence behind the vectorized-execution PR and the
+tool for finding the next interpretation-tax hot spot.  ``--scalar``
+profiles the scalar reference engine (``REPRO_SCALAR_EXEC=1``) for
+before/after contrast.  The churn profile also prints the database's
+``compaction_status()`` before and after the driver, so leftover debt
+(or a stuck advisor verdict) is visible next to the hot functions.
 """
 
 from __future__ import annotations
@@ -47,7 +50,8 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("-n", "--top", type=int, default=20,
                         help="functions to print per benchmark")
-    parser.add_argument("--bench", choices=("fig10", "fig14", "sort_topk"),
+    parser.add_argument("--bench",
+                        choices=("fig10", "fig14", "sort_topk", "churn"),
                         action="append",
                         help="benchmark(s) to profile (default: all)")
     parser.add_argument("--sort", default="tottime",
@@ -67,14 +71,21 @@ def main() -> None:
 
     # imported after the env decision so nothing caches the mode
     from repro.bench.experiments import (
+        build_bench_churn,
         build_bench_medical,
         build_bench_synthetic,
+        compaction_churn,
         fig10_pre_vs_post,
         fig14_throughput,
         sort_topk,
     )
 
-    wanted = opts.bench or ["fig10", "fig14", "sort_topk"]
+    def print_compaction_status(db, when: str) -> None:
+        print(f"compaction status ({when}):")
+        for status in db.compaction_status().values():
+            print(f"  {status.describe()}")
+
+    wanted = opts.bench or ["fig10", "fig14", "sort_topk", "churn"]
     walls = {}
     if "fig10" in wanted or "fig14" in wanted:
         t0 = time.perf_counter()
@@ -94,6 +105,15 @@ def main() -> None:
         print(f"medical build: {time.perf_counter() - t0:.3f}s")
         walls["sort_topk"] = profile_one(
             "sort_topk", sort_topk, (med,), opts.top, opts.sort)
+    if "churn" in wanted:
+        t0 = time.perf_counter()
+        churn_db = build_bench_churn()
+        print(f"churn build: {time.perf_counter() - t0:.3f}s")
+        print_compaction_status(churn_db, "before churn")
+        walls["churn"] = profile_one(
+            "compaction_churn", compaction_churn, (churn_db,),
+            opts.top, opts.sort)
+        print_compaction_status(churn_db, "after churn")
 
     print("\nwall-clock summary:")
     for name, wall in walls.items():

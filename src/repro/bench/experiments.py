@@ -32,8 +32,10 @@ from repro.workloads.queries import (
     query_q_with_hidden_projection,
 )
 from repro.workloads.synthetic import (
+    H_DOMAIN,
     PAPER_CARDINALITIES as SYN_CARDS,
     SyntheticConfig,
+    V_DOMAIN,
     build_synthetic,
 )
 
@@ -413,3 +415,71 @@ def fig16_decomposition_real(db: GhostDB,
                              sv_values=DECOMPOSITION_SV) -> List[Dict]:
     """Per-operator cost decomposition of query Q (medical data)."""
     return _decomposition(db, medical_query_q, sv_values)
+
+
+# ---------------------------------------------------------------------------
+# compaction churn: sustained DML with interleaved bounded compaction
+# ---------------------------------------------------------------------------
+
+CHURN_BATCHES = 6
+CHURN_INSERTS_PER_BATCH = 25
+CHURN_STEPS_PER_BATCH = 4
+
+
+def build_bench_churn() -> GhostDB:
+    """A private synthetic instance for the churn driver (it mutates)."""
+    return build_synthetic(SyntheticConfig(scale=SYN_SCALE / 2))
+
+
+def compaction_churn(db: GhostDB, batches: int = CHURN_BATCHES,
+                     sv: float = 0.05) -> List[Dict]:
+    """Sustained DML on T0 with bounded compaction slices in between.
+
+    Each batch deletes one ``v1`` stripe of the root table, appends
+    fresh rows, advances ``db.compact("T0")`` by a few bounded steps,
+    and runs query Q -- asserting the result stays oracle-identical
+    while the compaction is half-done.  One row per batch reports the
+    query's simulated time (and its inverse, queries/sec), the steps
+    the slice ran and the *worst single-step pause* -- the number the
+    incremental design exists to bound.  A ``final`` row runs the job
+    to completion and probes the clean state.
+    """
+    sql = query_q(sv)
+
+    def compact_s() -> float:
+        return db.token.ledger.by_label_s().get("Compact", 0.0)
+
+    def probe(batch, prog, spent_s) -> Dict:
+        expected = db.reference_query(sql)[1]
+        result = db.execute(sql)
+        if sorted(result.rows) != sorted(expected):
+            raise AssertionError(
+                f"batch {batch}: rows diverge from the oracle with "
+                f"compaction {prog.state}"
+            )
+        return {
+            "batch": batch,
+            "query_s": result.stats.total_s,
+            "queries_per_s": 1.0 / max(result.stats.total_s, 1e-12),
+            "compact_steps": prog.steps_run,
+            "compact_s": spent_s,
+            "max_pause_s": prog.max_step_us / 1e6,
+            "restarts": prog.restarts,
+            "state": prog.state,
+        }
+
+    rows = []
+    for b in range(batches):
+        db.execute(f"DELETE FROM T0 WHERE T0.v1 = {b}")
+        for i in range(CHURN_INSERTS_PER_BATCH):
+            db.execute(
+                "INSERT INTO T0 VALUES (?, ?, ?, ?, ?)",
+                params=(i % 5, i % 7, (b * 37 + i) % V_DOMAIN,
+                        (b * 11 + i) % V_DOMAIN, i % H_DOMAIN),
+            )
+        before = compact_s()
+        prog = db.compact("T0", max_steps=CHURN_STEPS_PER_BATCH)
+        rows.append(probe(b, prog, compact_s() - before))
+    before = compact_s()
+    rows.append(probe("final", db.compact("T0"), compact_s() - before))
+    return rows

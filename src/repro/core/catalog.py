@@ -136,7 +136,8 @@ class SecureCatalog:
         (tail-page appends, charged like any NAND write).
 
         Returns how many previously live rows died.  Files are never
-        compacted -- a compacting :meth:`~repro.core.ghostdb.GhostDB.rebuild`
+        compacted in place -- an incremental
+        :meth:`~repro.core.ghostdb.GhostDB.compact` of the table
         reclaims the space when tombstones accumulate.
         """
         dead = self.tombstones[table]
@@ -151,6 +152,19 @@ class SecureCatalog:
                                     len(dead), self.token.page_size)
                 dead.add(rid)
         return len(dead) - n_before
+
+    def tombstone_log_bytes(self, table: str) -> int:
+        """Flash bytes of ``table``'s tombstone log (compaction report)."""
+        log = self._tombstone_logs.get(table)
+        return log.n_bytes if log is not None else 0
+
+    def drop_tombstone_log(self, table: str) -> None:
+        """Free ``table``'s tombstone log after a compaction folded the
+        deletions into the rebuilt image (the in-RAM set is cleared by
+        the caller, in place -- the reference oracle shares it)."""
+        log = self._tombstone_logs.pop(table, None)
+        if log is not None:
+            log.free()
 
     def record_fk_delta(self, child_table: str, child_id: int,
                         parent_id: int) -> None:

@@ -1,0 +1,786 @@
+"""Incremental per-table compaction: bounded steps, no stop-the-world.
+
+The incremental-DML layer (PR 4/5 of the roadmap) made every mutation
+append-only: deletes tombstone, inserts tail-append, climbing indexes
+grow flash delta logs, and fk deltas let lookups climb to appended
+parents.  Reclaiming that debt used to require ``rebuild()`` -- a
+stop-the-world re-provisioning of the *entire* database from retained
+raw rows.  This module retires that hammer.
+
+:class:`CompactionManager` compacts **one table at a time, in bounded
+steps**.  A :class:`CompactionJob` is a generator-backed state machine;
+each ``next()`` performs one bounded unit of work -- a batch of
+``pages_per_step`` page copies, or one climbing-index fold -- under the
+``"Compact"`` ledger label, then yields.  Everything the job writes is
+a *shadow* flash file; the live catalog is untouched until the final
+swap step, so queries interleaved between steps read the old, fully
+consistent image (same results, same tombstone filtering, same audit
+profile).  The swap itself is a handful of in-RAM pointer moves.
+
+What compacting table ``T`` covers:
+
+* ``T``'s hidden heap and ``SKT(T)`` are rewritten without the
+  tombstoned rows; surviving rows keep their relative order, so ids
+  stay dense (``id_map[old] = new`` is monotonic).
+* Every ancestor SKT has its ``T`` column remapped in place (a
+  page-aligned rewrite -- dangling cells of already-dead ancestor rows
+  map to 0 and are never read).
+* The *ripple set* of climbing indexes -- those on ``T`` and on each
+  descendant of ``T``, i.e. exactly the indexes carrying ``T`` among
+  their levels -- is re-bulk-built where needed: an index is folded iff
+  it has delta-log entries, or ``T``'s ids moved, or a subtree table's
+  fk delta feeds one of its levels.  Indexes above ``T`` are never
+  touched.
+* Folded metadata is retired: tombstones and the tombstone log of
+  ``T``, the fk deltas of ``T``'s subtree, the delta logs of folded
+  indexes.
+
+Before any shadow page is written, a :class:`CompactionAdvisor` prices
+the job against the FTL's *headroom* (unmapped physical pages).  The
+rule is borrowed from CockroachDB's online schema changes, which
+refuse to start an index backfill unless the store could hold ~3x the
+projected footprint: running out of space mid-build is strictly worse
+than never starting.  Below ``headroom_factor`` x the priced shadow
+footprint the advisor *defers*; below 1x it *declines*.  Both raise
+:class:`~repro.errors.CompactionDeclined` up front -- never an FTL
+out-of-space error halfway through a fold.
+
+Interleaved DML is detected, not locked out: the job snapshots the
+per-table data generations when it starts, and the manager aborts and
+restarts the job (shadow files freed, ``restarts`` counted) if any
+generation moved between steps.  Plan-cache behaviour matches the old
+rebuild exactly: ``data_generations[T]`` bumps only when ``T`` itself
+had DML folded in (appends or a remap), so cached plans of untouched
+tables survive; ``built_generations`` of the whole subtree syncs so a
+later ``_full_reprovision`` still knows what is clean.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.stats import TableStats
+from repro.errors import CompactionDeclined
+from repro.index.climbing import ClimbingIndex
+from repro.storage.heap import HeapFile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with ghostdb
+    from repro.core.catalog import SecureCatalog
+    from repro.core.ghostdb import GhostDB
+
+#: ledger label every compaction step runs under
+COMPACT_LABEL = "Compact"
+
+#: flash pages copied per heap/SKT step (an index fold is one step)
+DEFAULT_PAGES_PER_STEP = 32
+
+#: advisor safety margin over the priced shadow footprint
+DEFAULT_HEADROOM_FACTOR = 3.0
+
+
+# ----------------------------------------------------------------------
+# structural helpers
+# ----------------------------------------------------------------------
+def subtree(schema, table: str) -> List[str]:
+    """``table`` plus its descendants -- the tables whose climbing
+    indexes carry ``table`` among their levels."""
+    return [table] + list(schema.descendants(table))
+
+
+def ripple_indexes(catalog: "SecureCatalog", table: str
+                   ) -> List[Tuple[Tuple, ClimbingIndex]]:
+    """``(key, index)`` pairs of every climbing index compacting
+    ``table`` may have to fold: the indexes on ``table`` itself and on
+    each descendant (``levels = [D] + ancestors(D)``, so ``table`` is
+    a level of index-on-``D`` iff ``D`` is in ``table``'s subtree).
+    Keys are ``("attr", D, col)`` / ``("id", D, None)``.
+    """
+    sub = set(subtree(catalog.schema, table))
+    out: List[Tuple[Tuple, ClimbingIndex]] = []
+    for (t, col), idx in sorted(catalog.attr_indexes.items()):
+        if t in sub:
+            out.append((("attr", t, col), idx))
+    for t, idx in sorted(catalog.id_indexes.items()):
+        if t in sub:
+            out.append((("id", t, None), idx))
+    return out
+
+
+def index_needs_fold(catalog: "SecureCatalog", table: str,
+                     idx: ClimbingIndex, remap: bool) -> bool:
+    """Whether compacting ``table`` must re-bulk-build ``idx``.
+
+    Yes if the index has appended (delta-log) entries, if ``table``'s
+    ids are being remapped (the index stores them in some level), or if
+    a *subtree* table's fk delta feeds one of the index's levels.  Fk
+    deltas of tables above ``table`` are deliberately left in place --
+    they belong to a higher compaction and lookups keep climbing them.
+    """
+    if remap or idx.delta_entries:
+        return True
+    sub = set(subtree(catalog.schema, table))
+    return any(catalog.fk_deltas.get(u) for u in idx.levels if u in sub)
+
+
+def table_indexes(catalog: "SecureCatalog", table: str
+                  ) -> List[ClimbingIndex]:
+    """The climbing indexes anchored on ``table`` (attr + id)."""
+    out = [idx for (t, _c), idx in sorted(catalog.attr_indexes.items())
+           if t == table]
+    idx = catalog.id_indexes.get(table)
+    if idx is not None:
+        out.append(idx)
+    return out
+
+
+def is_dirty(catalog: "SecureCatalog", table: str) -> bool:
+    """Whether ``table`` has any foldable debt: tombstones, a subtree
+    fk delta, or delta-log entries on a ripple index.  Pure appends
+    with already-folded indexes leave a table clean -- appends are
+    physically in place, there is nothing to compact."""
+    if catalog.tombstones[table]:
+        return True
+    if any(catalog.fk_deltas.get(u) for u in subtree(catalog.schema, table)):
+        return True
+    return any(idx.delta_entries for _, idx in ripple_indexes(catalog, table))
+
+
+def _live_ancestor_maps(catalog: "SecureCatalog", remap_table: str,
+                        id_map: Dict[int, int]
+                        ) -> Dict[str, Dict[str, Dict[int, List[int]]]]:
+    """``maps[D][A][idD]`` = sorted live ids of ancestor ``A`` whose fk
+    chain reaches ``D`` tuple ``idD`` -- the loader's ancestor maps,
+    recomputed over *live* rows with ``remap_table``'s ids translated
+    through ``id_map`` (all other tables keep their ids).
+
+    Tombstoned rows are excluded at every level: a fresh bulk build
+    from live data is exactly what a from-scratch re-provision would
+    produce once every table is compacted, and dropping dead ancestor
+    ids early only removes entries the executor would filter anyway.
+    """
+    schema = catalog.schema
+
+    def out_id(table: str, rid: int) -> int:
+        return id_map[rid] if table == remap_table else rid
+
+    maps: Dict[str, Dict[str, Dict[int, List[int]]]] = {
+        name: {} for name in schema.tables
+    }
+    order = sorted(schema.tables, key=schema.depth)
+    for name in order:
+        parent = schema.parent(name)
+        if parent is None:
+            continue
+        t_parent = schema.table(parent)
+        pos = t_parent.column_position(schema.fk_to(parent, name).name)
+        dead_c = catalog.tombstones[name] if name != remap_table else set()
+        dead_p = catalog.tombstones[parent] if parent != remap_table else set()
+        direct: Dict[int, List[int]] = {
+            out_id(name, rid): []
+            for rid in range(len(catalog.raw_rows[name]))
+            if rid not in dead_c and (name != remap_table or rid in id_map)
+        }
+        for pid, row in enumerate(catalog.raw_rows[parent]):
+            if pid in dead_p or (parent == remap_table and pid not in id_map):
+                continue
+            direct[out_id(name, row[pos])].append(out_id(parent, pid))
+        maps[name][parent] = direct
+        for higher, pmap in maps[parent].items():
+            maps[name][higher] = {
+                i: sorted(heapq.merge(*(pmap[p] for p in parents)))
+                if parents else []
+                for i, parents in direct.items()
+            }
+    return maps
+
+
+# ----------------------------------------------------------------------
+# advisor
+# ----------------------------------------------------------------------
+@dataclass
+class AdvisorReport:
+    """Outcome of pricing one table's compaction against flash headroom."""
+
+    table: str
+    verdict: str                 # clean | proceed | defer | decline
+    required_pages: int = 0
+    headroom_pages: int = 0
+    factor: float = DEFAULT_HEADROOM_FACTOR
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict in ("clean", "proceed")
+
+    def describe(self) -> str:
+        out = (f"advisor={self.verdict} required={self.required_pages}p "
+               f"headroom={self.headroom_pages}p x{self.factor:g}")
+        if self.detail:
+            out += f" ({self.detail})"
+        return out
+
+
+class CompactionAdvisor:
+    """Prices a compaction's shadow footprint before any page is written.
+
+    The footprint is the sum of every shadow structure that must coexist
+    with its live original until the swap: the rewritten heap and SKT of
+    the table (live rows only), the remapped ancestor SKTs, and one
+    freshly bulk-built replacement per ripple index that needs folding
+    (priced at its current storage plus one page of builder slack per
+    level).  The verdict compares FTL headroom -- unmapped physical
+    pages, which is what :meth:`Ftl.allocate` can still hand out --
+    against ``factor`` times that requirement:
+
+    * ``clean``   -- nothing to fold, no job needed;
+    * ``proceed`` -- headroom >= factor x required;
+    * ``defer``   -- the job *would* fit right now but leaves less than
+      the safety margin; retry after freeing space (or with a smaller
+      factor, accepting the risk);
+    * ``decline`` -- the shadow files cannot fit at all.
+
+    ``defer`` and ``decline`` both surface as
+    :class:`~repro.errors.CompactionDeclined` before the first shadow
+    write, never as an FTL out-of-space error mid-fold.
+    """
+
+    def __init__(self, catalog: "SecureCatalog",
+                 factor: float = DEFAULT_HEADROOM_FACTOR):
+        self.catalog = catalog
+        self.factor = factor
+
+    def assess(self, table: str) -> AdvisorReport:
+        catalog = self.catalog
+        if not is_dirty(catalog, table):
+            return AdvisorReport(table, "clean", factor=self.factor,
+                                 headroom_pages=catalog.token.ftl
+                                 .headroom_pages())
+        page_size = catalog.token.page_size
+        schema = catalog.schema
+        dead = catalog.tombstones[table]
+        live = catalog.n_rows(table) - len(dead)
+        required = 0
+        detail: List[str] = []
+        if dead:
+            image = catalog.images[table]
+            if image.heap is not None:
+                pages = math.ceil(live / image.heap.rows_per_page)
+                required += pages
+                detail.append(f"heap={pages}p")
+            skt = catalog.skts.get(table)
+            if skt is not None:
+                pages = math.ceil(live / skt.heap.rows_per_page)
+                required += pages
+                detail.append(f"skt={pages}p")
+            anc = sum(catalog.skts[a].n_pages
+                      for a in schema.ancestors(table) if a in catalog.skts)
+            if anc:
+                required += anc
+                detail.append(f"ancestor-skts={anc}p")
+        idx_pages = 0
+        for _key, idx in ripple_indexes(catalog, table):
+            if index_needs_fold(catalog, table, idx, bool(dead)):
+                idx_pages += (math.ceil(idx.storage_bytes() / page_size)
+                              + len(idx.levels))
+        if idx_pages:
+            required += idx_pages
+            detail.append(f"indexes={idx_pages}p")
+        headroom = catalog.token.ftl.headroom_pages()
+        if required == 0:
+            verdict = "proceed"      # pure fk-delta clear: no shadow writes
+        elif headroom >= self.factor * required:
+            verdict = "proceed"
+        elif headroom >= required:
+            verdict = "defer"
+        else:
+            verdict = "decline"
+        return AdvisorReport(table, verdict, required, headroom,
+                             self.factor, " ".join(detail))
+
+
+# ----------------------------------------------------------------------
+# status / progress reporting
+# ----------------------------------------------------------------------
+@dataclass
+class TableCompactionStatus:
+    """One table's foldable debt, as reported by ``compaction_status()``."""
+
+    table: str
+    dirty: bool
+    tombstones: int
+    tombstone_log_bytes: int
+    delta_entries: int
+    delta_log_bytes: int
+    fk_delta_edges: int
+    advisor: AdvisorReport
+    job_phase: Optional[str] = None
+
+    def describe(self) -> str:
+        bits = [f"{self.table}:", "dirty" if self.dirty else "clean"]
+        if self.tombstones:
+            bits.append(f"tombstones={self.tombstones}"
+                        f"({self.tombstone_log_bytes}B)")
+        if self.delta_entries:
+            bits.append(f"delta_entries={self.delta_entries}"
+                        f"({self.delta_log_bytes}B)")
+        if self.fk_delta_edges:
+            bits.append(f"fk_delta_edges={self.fk_delta_edges}")
+        bits.append(self.advisor.describe())
+        if self.job_phase:
+            bits.append(f"job[{self.job_phase}]")
+        return " ".join(bits)
+
+
+@dataclass
+class CompactionProgress:
+    """What one ``db.compact()`` call accomplished."""
+
+    table: str
+    state: str                   # clean | in-progress | done
+    steps_run: int = 0
+    phase: str = ""
+    restarts: int = 0
+    pages_rewritten: int = 0
+    max_step_us: float = 0.0
+    last_step_us: float = 0.0
+    advisor: Optional[AdvisorReport] = None
+
+    @property
+    def done(self) -> bool:
+        return self.state in ("clean", "done")
+
+    def describe(self) -> str:
+        out = f"compact({self.table}): {self.state}"
+        if self.steps_run:
+            out += (f" steps={self.steps_run} pages={self.pages_rewritten}"
+                    f" max_step={self.max_step_us:.0f}us")
+        if self.restarts:
+            out += f" restarts={self.restarts}"
+        if self.phase and self.state == "in-progress":
+            out += f" at[{self.phase}]"
+        return out
+
+
+# ----------------------------------------------------------------------
+# the job
+# ----------------------------------------------------------------------
+class CompactionJob:
+    """Bounded-step compaction of one table.
+
+    Generator-backed: :meth:`step` advances :meth:`_steps` by one
+    ``yield``, i.e. one bounded unit of work.  All writes before the
+    final step go to shadow flash files; :meth:`abort` discards them
+    without the live image ever having changed.  The terminal step
+    performs the swap and folds the metadata, then the generator
+    returns.
+    """
+
+    def __init__(self, db: "GhostDB", table: str, pages_per_step: int,
+                 factor: float, seq: int, restarts: int = 0):
+        self.db = db
+        self.table = table
+        self.pages_per_step = max(1, pages_per_step)
+        self.factor = factor
+        self.restarts = restarts
+        self._tag = f"~c{seq}"             # unique shadow-file suffix
+        # data-generation snapshot; any movement means DML interleaved
+        # and the frozen id_map / shadow contents may be stale
+        self.guard = dict(db.catalog.data_generations)
+        self.advisor: Optional[AdvisorReport] = None
+        self.finished = False
+        self.steps_run = 0
+        self.pages_rewritten = 0
+        self.max_step_us = 0.0
+        self.last_step_us = 0.0
+        self.phase = "plan"
+        self._shadow_indexes: List[ClimbingIndex] = []
+        self._shadow_heaps: List[HeapFile] = []
+        self._last_heap: Optional[HeapFile] = None
+        self._gen: Iterator[str] = self._steps()
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run one bounded step; True once the job completed (swapped)."""
+        token = self.db.token
+        ledger = token.ledger
+        before_us = ledger.total_time_us()
+        before_pages = self.pages_rewritten
+        with token.label(COMPACT_LABEL):
+            try:
+                self.phase = next(self._gen)
+            except StopIteration:
+                self.finished = True
+            self.steps_run += 1
+            self.last_step_us = ledger.total_time_us() - before_us
+            self.max_step_us = max(self.max_step_us, self.last_step_us)
+            ledger.charge(
+                "compact", 0.0, compaction_steps=1,
+                compaction_pages_rewritten=(self.pages_rewritten
+                                            - before_pages),
+            )
+        return self.finished
+
+    def abort(self) -> None:
+        """Free every shadow structure; the live image was never touched."""
+        for idx in self._shadow_indexes:
+            idx.free()
+        for heap in self._shadow_heaps:
+            heap.free()
+        self._shadow_indexes.clear()
+        self._shadow_heaps.clear()
+        self._gen.close()
+
+    def progress(self, state: str) -> CompactionProgress:
+        return CompactionProgress(
+            table=self.table, state=state, steps_run=self.steps_run,
+            phase=self.phase, restarts=self.restarts,
+            pages_rewritten=self.pages_rewritten,
+            max_step_us=self.max_step_us, last_step_us=self.last_step_us,
+            advisor=self.advisor,
+        )
+
+    # ------------------------------------------------------------------
+    def _copy_heap_batched(self, src: HeapFile, name: str,
+                           keep, transform) -> Iterator[str]:
+        """Yield-per-batch copy of ``src`` into a new shadow heap.
+
+        ``keep(rid)`` filters rows, ``transform(rid, row)`` rewrites
+        them.  Old pages are read (and charged) page-wise; surviving
+        rows repack densely, so the shadow's layout is byte-identical
+        to a fresh bulk build of the same rows.  The shadow is left in
+        ``self._last_heap``.
+        """
+        store = self.db.catalog.token.store
+        shadow = HeapFile(store.create(name), src.codec, src.page_size)
+        self._shadow_heaps.append(shadow)
+        buf: List[Tuple] = []
+        per_page = shadow.rows_per_page
+        n_pages = src.file.n_pages
+        for first in range(0, n_pages, self.pages_per_step):
+            last = min(first + self.pages_per_step, n_pages)
+            for page in range(first, last):
+                for rid, row in src.read_rows_on_page(page):
+                    if keep(rid):
+                        buf.append(transform(rid, row))
+                while len(buf) >= per_page:
+                    chunk, buf = buf[:per_page], buf[per_page:]
+                    shadow.file.append_page(src.codec.pack_rows(chunk))
+                    shadow.n_rows += len(chunk)
+            self.pages_rewritten += last - first
+            yield f"{name.split('~')[0]} pages {last}/{n_pages}"
+        if buf:
+            shadow.file.append_page(src.codec.pack_rows(buf))
+            shadow.n_rows += len(buf)
+        self._last_heap = shadow
+
+    def _charge_index_read(self, idx: ClimbingIndex) -> None:
+        """Stream the old index's pages -- the honest read cost of
+        folding it (the host rebuilds from retained raw rows, but a
+        real token would read tree, runs and delta log)."""
+        for f in idx.storage_files():
+            for page in range(f.n_pages):
+                f.read_page(page)
+
+    # ------------------------------------------------------------------
+    def _steps(self) -> Iterator[str]:
+        db = self.db
+        catalog = db.catalog
+        schema = catalog.schema
+        store = catalog.token.store
+        page_size = catalog.token.page_size
+        T = self.table
+        tag = self._tag
+
+        # ---- plan: price the job, freeze the dense remap -------------
+        self.advisor = CompactionAdvisor(catalog, self.factor).assess(T)
+        if not self.advisor.ok:
+            need = self.advisor.required_pages
+            deferred = self.advisor.verdict == "defer"
+            margin = (f"{self.factor:g}x the priced shadow footprint"
+                      if deferred else "the priced shadow footprint")
+            raise CompactionDeclined(
+                f"compaction of {T!r} "
+                f"{'deferred' if deferred else 'declined'} by the "
+                f"advisor: flash headroom "
+                f"{self.advisor.headroom_pages} pages is below {margin} "
+                f"({need} pages: {self.advisor.detail}); free space or "
+                f"compact smaller tables first, then retry"
+            )
+        dead = set(catalog.tombstones[T])
+        live_ids = [rid for rid in range(catalog.n_rows(T))
+                    if rid not in dead]
+        id_map = {rid: new for new, rid in enumerate(live_ids)}
+        remap = bool(dead)
+        folds = [(key, idx) for key, idx in ripple_indexes(catalog, T)
+                 if index_needs_fold(catalog, T, idx, remap)]
+        yield "planned"
+
+        # ---- T's hidden heap: drop dead rows, batched ----------------
+        image = catalog.images[T]
+        new_heap: Optional[HeapFile] = None
+        if remap and image.heap is not None:
+            yield from self._copy_heap_batched(
+                image.heap, f"hidden_{T}{tag}",
+                keep=lambda rid: rid not in dead,
+                transform=lambda rid, row: row,
+            )
+            new_heap = self._last_heap
+
+        # ---- SKT(T): drop dead rows (descendant ids unchanged) -------
+        skt = catalog.skts.get(T)
+        new_skt_heap: Optional[HeapFile] = None
+        if remap and skt is not None:
+            yield from self._copy_heap_batched(
+                skt.heap, f"skt_{T}{tag}",
+                keep=lambda rid: rid not in dead,
+                transform=lambda rid, row: row,
+            )
+            new_skt_heap = self._last_heap
+
+        # ---- ancestor SKTs: remap the T column, keep every row -------
+        # (dangling T-cells of dead ancestor rows are never read; they
+        # map to 0 and disappear when that ancestor compacts)
+        new_anc_heaps: Dict[str, HeapFile] = {}
+        if remap:
+            for anc in schema.ancestors(T):
+                askt = catalog.skts.get(anc)
+                if askt is None:
+                    continue
+                pos = askt.column_positions([T])[0]
+
+                def remap_cell(rid: int, row: Tuple, pos: int = pos
+                               ) -> Tuple:
+                    cells = list(row)
+                    cells[pos] = id_map.get(cells[pos], 0)
+                    return tuple(cells)
+
+                yield from self._copy_heap_batched(
+                    askt.heap, f"skt_{anc}{tag}",
+                    keep=lambda rid: True, transform=remap_cell,
+                )
+                new_anc_heaps[anc] = self._last_heap
+
+        # ---- ripple indexes: one fresh bulk build per step -----------
+        new_indexes: List[Tuple[Tuple, ClimbingIndex]] = []
+        if folds:
+            anc_maps = _live_ancestor_maps(catalog, T, id_map)
+            yield "ancestor-maps"
+        for (kind, d_table, col), idx in folds:
+            self._charge_index_read(idx)
+            t = schema.table(d_table)
+            rows = catalog.raw_rows[d_table]
+            dead_d = dead if d_table == T else catalog.tombstones[d_table]
+
+            def out_id(rid: int, d: str = d_table) -> int:
+                return id_map[rid] if d == T else rid
+
+            if kind == "attr":
+                pos = t.column_position(col)
+                items = [(row[pos], out_id(rid))
+                         for rid, row in enumerate(rows)
+                         if rid not in dead_d]
+                ctype = t.column(col).type
+                name = f"{d_table}_{col}{tag}"
+            else:
+                items = [(out_id(rid), out_id(rid))
+                         for rid in range(len(rows)) if rid not in dead_d]
+                ctype = t.column("id").type
+                name = f"{d_table}_id{tag}"
+            ancestors = schema.ancestors(d_table)
+            shadow_idx = ClimbingIndex.build(
+                store, name, ctype, [d_table] + ancestors, items,
+                {a: anc_maps[d_table][a] for a in ancestors}, page_size,
+            )
+            self._shadow_indexes.append(shadow_idx)
+            new_indexes.append(((kind, d_table, col), shadow_idx))
+            self.pages_rewritten += sum(
+                f.n_pages for f in shadow_idx.storage_files()
+            )
+            yield (f"fold {d_table}.{col or 'id'} "
+                   f"({idx.delta_entries} delta entries)")
+
+        # ---- terminal step: swap shadows in, fold the metadata -------
+        self.phase = "swap"
+        if remap:
+            db._vis_server.push_compaction(T, sorted(dead))
+            if new_heap is not None:
+                old = image.heap
+                image.heap = new_heap
+                old.free()
+            image.n_rows = len(live_ids)
+            if new_skt_heap is not None:
+                skt.replace_heap(new_skt_heap)
+            for anc, aheap in new_anc_heaps.items():
+                catalog.skts[anc].replace_heap(aheap)
+            # retained raw rows follow: T's list shrinks to the live
+            # rows (rebound in place -- the reference oracle shares the
+            # dict), the parent's fk cells move to the new dense ids
+            catalog.raw_rows[T] = [catalog.raw_rows[T][rid]
+                                   for rid in live_ids]
+            parent = schema.parent(T)
+            if parent is not None:
+                tp = schema.table(parent)
+                pos = tp.column_position(schema.fk_to(parent, T).name)
+                dead_p = catalog.tombstones[parent]
+                remapped = []
+                for pid, row in enumerate(catalog.raw_rows[parent]):
+                    cells = list(row)
+                    cells[pos] = (id_map[cells[pos]] if pid not in dead_p
+                                  else id_map.get(cells[pos], 0))
+                    remapped.append(tuple(cells))
+                catalog.raw_rows[parent] = remapped
+                # stats content follows the remapped fk values; the
+                # stats generation does not move (same carry-forward the
+                # old full rebuild gave clean tables)
+                catalog.stats[parent] = TableStats.from_rows(
+                    tp, [row for pid, row in enumerate(remapped)
+                         if pid not in dead_p]
+                )
+        self._shadow_heaps.clear()
+        for (kind, d_table, col), shadow_idx in new_indexes:
+            if kind == "attr":
+                old_idx = catalog.attr_indexes[(d_table, col)]
+                catalog.attr_indexes[(d_table, col)] = shadow_idx
+            else:
+                old_idx = catalog.id_indexes[d_table]
+                catalog.id_indexes[d_table] = shadow_idx
+            old_idx.free()
+        self._shadow_indexes.clear()
+        # folded metadata: every consumer index of a subtree fk delta is
+        # in the ripple set and was rebuilt above, so the deltas retire
+        for u in subtree(schema, T):
+            catalog.fk_deltas[u].clear()
+        if remap:
+            catalog.tombstones[T].clear()   # in place: the oracle shares it
+            catalog.drop_tombstone_log(T)
+            catalog.stats[T] = TableStats.from_rows(
+                schema.table(T), catalog.raw_rows[T]
+            )
+        # generations: bump T's data generation only if T itself had DML
+        # folded in (appends since the last build, or a remap); cached
+        # plans of untouched tables must survive, exactly as the old
+        # stop-the-world rebuild guaranteed
+        if catalog.data_generations[T] != catalog.built_generations[T] \
+                or remap:
+            catalog.bump_generation(T)
+        for u in subtree(schema, T):
+            catalog.built_generations[u] = catalog.data_generations[u]
+
+
+# ----------------------------------------------------------------------
+# the manager
+# ----------------------------------------------------------------------
+class CompactionManager:
+    """Owns at most one in-flight :class:`CompactionJob` per table.
+
+    Created per catalog wiring; a full re-provision drops it (and any
+    half-done shadows) together with the token image it indexed.
+    """
+
+    def __init__(self, db: "GhostDB"):
+        self._db = db
+        self._jobs: Dict[str, CompactionJob] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def compact(self, table: str, max_steps: Optional[int] = None,
+                pages_per_step: int = DEFAULT_PAGES_PER_STEP,
+                headroom_factor: float = DEFAULT_HEADROOM_FACTOR
+                ) -> CompactionProgress:
+        """Advance ``table``'s compaction by up to ``max_steps`` steps.
+
+        ``max_steps=None`` runs the job to completion.  A job survives
+        across calls; interleaved DML triggers an abort-and-restart
+        (counted, shadow files freed) rather than a wrong image.
+        """
+        db = self._db
+        catalog = db.catalog
+        catalog.schema.table(table)            # validates the name
+        job = self._jobs.get(table)
+        restarts = 0
+        steps = 0
+        while max_steps is None or steps < max_steps:
+            if job is not None and job.guard != catalog.data_generations:
+                # DML slipped in between steps: the frozen remap and
+                # shadow contents may be stale -- throw them away
+                restarts = job.restarts + 1
+                job.abort()
+                self._jobs.pop(table, None)
+                job = None
+                db.token.ledger.charge("compact", 0.0,
+                                       compaction_restarts=1)
+            if job is None:
+                if not is_dirty(catalog, table):
+                    return CompactionProgress(
+                        table=table, state="clean", restarts=restarts,
+                        advisor=AdvisorReport(
+                            table, "clean", factor=headroom_factor,
+                            headroom_pages=db.token.ftl.headroom_pages(),
+                        ),
+                    )
+                self._seq += 1
+                job = CompactionJob(db, table, pages_per_step,
+                                    headroom_factor, self._seq, restarts)
+                self._jobs[table] = job
+            try:
+                done = job.step()
+            except CompactionDeclined:
+                job.abort()
+                self._jobs.pop(table, None)
+                raise
+            steps += 1
+            if done:
+                self._jobs.pop(table, None)
+                return job.progress("done")
+        return job.progress("in-progress")
+
+    # ------------------------------------------------------------------
+    def is_dirty(self, table: str) -> bool:
+        return is_dirty(self._db.catalog, table)
+
+    def dirty_tables(self) -> List[str]:
+        catalog = self._db.catalog
+        return [t for t in catalog.schema.tables if is_dirty(catalog, t)]
+
+    def advise(self, table: str,
+               headroom_factor: float = DEFAULT_HEADROOM_FACTOR
+               ) -> AdvisorReport:
+        return CompactionAdvisor(self._db.catalog, headroom_factor) \
+            .assess(table)
+
+    def job_phase(self, table: str) -> Optional[str]:
+        job = self._jobs.get(table)
+        if job is None:
+            return None
+        return f"step {job.steps_run}: {job.phase}"
+
+    def abort_all(self) -> None:
+        """Discard every in-flight job (full re-provision path)."""
+        for job in self._jobs.values():
+            job.abort()
+        self._jobs.clear()
+
+    def status(self) -> Dict[str, TableCompactionStatus]:
+        """Per-table foldable debt + advisor verdicts, schema order."""
+        catalog = self._db.catalog
+        advisor = CompactionAdvisor(catalog)
+        out: Dict[str, TableCompactionStatus] = {}
+        for table in catalog.schema.tables:
+            own = table_indexes(catalog, table)
+            out[table] = TableCompactionStatus(
+                table=table,
+                dirty=is_dirty(catalog, table),
+                tombstones=len(catalog.tombstones[table]),
+                tombstone_log_bytes=catalog.tombstone_log_bytes(table),
+                delta_entries=sum(i.delta_entries for i in own),
+                delta_log_bytes=sum(i.delta_log_bytes for i in own),
+                fk_delta_edges=sum(
+                    len(v) for v in catalog.fk_deltas[table].values()
+                ),
+                advisor=advisor.assess(table),
+                job_phase=self.job_phase(table),
+            )
+        return out

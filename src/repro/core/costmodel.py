@@ -649,16 +649,17 @@ class CostModel:
     # the ordering step (external sort / top-k heap / index order)
     # ------------------------------------------------------------------
     def estimate_order(self, bound: BoundQuery,
-                       index: Optional[ClimbingIndex] = None
-                       ) -> OrderReport:
+                       index: Optional[ClimbingIndex] = None,
+                       index_note: Optional[str] = None) -> OrderReport:
         """Price every way to execute the query's ORDER BY / LIMIT.
 
         Requires a non-empty ORDER BY (the planner handles key-less
         LIMIT/OFFSET as a plain TRUNCATE without costing it).
         ``index`` is the usable climbing index on the (single) ORDER BY
         key, or ``None`` -- availability is the planner's call (delta
-        logs and fk deltas break value order).  Run counts derive from
-        the statistics catalog's cardinality estimates.
+        logs and fk deltas break value order; ``index_note`` carries
+        the planner's gating reason into the report).  Run counts
+        derive from the statistics catalog's cardinality estimates.
         """
         from repro.core.sort import SortKeyCodec
 
@@ -738,7 +739,7 @@ class CostModel:
         else:
             candidates.append(OrderEstimate(
                 SortMethod.INDEX_ORDER, infeasible=True,
-                note="(no usable index)"))
+                note=index_note or "(no usable index)"))
         return OrderReport(candidates, n_rows)
 
     def _estimate_brute_force(self, acc: _Acc, bound: BoundQuery,

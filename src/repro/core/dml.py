@@ -12,8 +12,8 @@ append-only NAND writes, and every mutation here honors that:
   statement is the binder's redacted ``public_text``.
 * a DELETE evaluates its predicates with the ordinary selection-join
   machinery (climbing indexes + Vis), then tombstones the matching
-  ids.  Files are never compacted in place; a compacting ``rebuild()``
-  reclaims the space.
+  ids.  Files are never compacted in place; an incremental
+  ``db.compact(table)`` reclaims the space in bounded steps.
 
 Cost discipline: an insert is O(appended bytes) -- a handful of tail
 pages re-programmed plus the channel transfer of the row itself --

@@ -59,6 +59,10 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.aggregate import apply_aggregates, effective_projections
 from repro.core.catalog import SecureCatalog
+from repro.core.compaction import (DEFAULT_HEADROOM_FACTOR,
+                                   DEFAULT_PAGES_PER_STEP,
+                                   CompactionManager, CompactionProgress,
+                                   TableCompactionStatus)
 from repro.core.dml import DmlExecutor, DmlResult
 from repro.core.executor import QepSjExecutor, QueryResult, QueryStats
 from repro.core.loader import Loader
@@ -98,6 +102,7 @@ class GhostDB:
         self._planner: Optional[Planner] = None
         self._reference: Optional[ReferenceEngine] = None
         self._dml: Optional[DmlExecutor] = None
+        self._compactor: Optional[CompactionManager] = None
         self._sessions: "weakref.WeakSet[Session]" = weakref.WeakSet()
         self._default_session: Optional[Session] = None
         self._generation = 0
@@ -263,6 +268,9 @@ class GhostDB:
                                           self.catalog.tombstones)
         self._dml = DmlExecutor(self.schema, self.token, self.catalog,
                                 self._vis_server, self._planner)
+        # fresh manager per catalog: any half-done compaction of a
+        # previous catalog died with that catalog's token image
+        self._compactor = CompactionManager(self)
 
     def _require_built(self) -> None:
         if self.catalog is None:
@@ -327,7 +335,17 @@ class GhostDB:
                     cost_report=None,
                 )
                 cand.measured_s = self.execute_plan(trial).stats.total_s
-        return plan.describe()
+        text = plan.describe()
+        if analyze:
+            # the maintenance counters a DBA would want next to the
+            # measured numbers: what compaction debt the touched tables
+            # carry and what the advisor would say about folding it
+            status = self._compactor.status()
+            lines = ["", "compaction status:"]
+            lines += [f"  {status[t].describe()}"
+                      for t in sorted(plan.bound.tables)]
+            text += "\n".join(lines)
+        return text
 
     def query(self, sql: str,
               vis_strategy: StrategyLike = None,
@@ -501,33 +519,90 @@ class GhostDB:
         return self._session_default().query_many(sql, param_sets,
                                                   **kwargs)
 
+    def compact(self, table: str, max_steps: Optional[int] = None,
+                pages_per_step: int = DEFAULT_PAGES_PER_STEP,
+                headroom_factor: float = DEFAULT_HEADROOM_FACTOR
+                ) -> CompactionProgress:
+        """Incrementally compact one table, in bounded steps.
+
+        Folds the table's accumulated DML debt -- tombstones, climbing-
+        index delta logs, subtree fk deltas -- back into densely built
+        structures *without* stopping the world: each step copies at
+        most ``pages_per_step`` flash pages (or folds one climbing
+        index), all writes go to shadow files, and queries issued
+        between steps read the untouched old image.  Call with
+        ``max_steps`` to bound a maintenance slice and call again later
+        to continue; ``max_steps=None`` runs to completion.  The
+        returned :class:`~repro.core.compaction.CompactionProgress`
+        reports steps, pages rewritten, the worst per-step pause and
+        the advisor verdict.
+
+        Before writing anything the compaction advisor prices the
+        shadow footprint against FTL headroom and raises
+        :class:`~repro.errors.CompactionDeclined` when space is short
+        (``headroom_factor`` is the safety margin) -- never an
+        out-of-space error mid-fold.  DML interleaved between steps
+        aborts and restarts the job; the restart is counted, not an
+        error.
+
+        Only the compacted table's data generation bumps (and only when
+        its own DML was folded), so cached plans of other tables keep
+        serving.  Once a table's delta logs are folded the planner's
+        index-order ``ORDER BY`` path opens up again for it.
+        """
+        self._require_built()
+        return self._compactor.compact(table, max_steps, pages_per_step,
+                                       headroom_factor)
+
+    def compaction_status(self) -> Dict[str, TableCompactionStatus]:
+        """Per-table compaction debt: tombstone and delta-log volume,
+        fk-delta edges, the advisor's verdict, and any in-flight job's
+        phase.  The same block is appended to ``EXPLAIN ANALYZE``
+        output for the tables a query touches."""
+        self._require_built()
+        return self._compactor.status()
+
     def rebuild(self,
                 indexed_columns: Optional[Dict[str, Sequence[str]]] = None
                 ) -> None:
-        """Re-provision the token from the retained raw rows.
+        """Fold all accumulated DML debt back into built structures.
 
-        Rebuilds hidden images, SKTs and climbing indexes (optionally
-        with a different ``indexed_columns`` selection) on a fresh
-        token and bumps :attr:`generation`.
+        Historically this re-provisioned the entire token from the
+        retained raw rows -- a stop-the-world rebuild.  It now survives
+        as a thin shim: without arguments it simply loops
+        :meth:`compact` over every dirty table (per-table, bounded
+        steps internally, same end state), resets the cost ledger as
+        the old rebuild did, and bumps :attr:`generation`.
 
-        Cache invalidation is routed through the per-table generations
-        rather than a global plan-cache flush: tables mutated since the
-        last (re)build carry their generation counters forward *bumped*,
-        so only plans touching them stale-drop on their next lookup,
-        while plans over untouched tables (whose compaction is an
-        identity) keep serving from every session's cache.  Only an
-        explicit ``indexed_columns`` change -- which can invalidate any
-        plan's index assumptions -- still flushes the caches globally.
+        Passing ``indexed_columns`` still takes the full
+        re-provisioning path, since changing which attributes are
+        indexed genuinely requires rebuilding from scratch; that path
+        flushes every session's plan cache when the selection changed.
 
-        Rebuilding also *compacts*: tombstoned rows are dropped, ids
-        are re-densified (foreign keys remapped accordingly), every
-        climbing-index delta log is folded back into a bulk-built tree,
-        and the statistics sketches are regathered (re-tightening
-        min/max bounds that deletes left conservative).  Incremental
-        DML keeps the database live between rebuilds; a rebuild is
-        worthwhile once tombstones or deltas accumulate.
+        Either way cache invalidation is routed through the per-table
+        generations: only tables whose own DML was folded bump, so
+        plans over untouched tables keep serving from every session's
+        cache.
         """
         self._require_built()
+        if indexed_columns is not None:
+            self._full_reprovision(indexed_columns)
+            return
+        # one pass in any order converges: compact(T) folds T's whole
+        # subtree, and it never re-dirties tables (the +1 pass is a
+        # safety net, not an expectation)
+        for _ in range(len(self.schema.tables) + 1):
+            dirty = self._compactor.dirty_tables()
+            if not dirty:
+                break
+            for table in dirty:
+                self._compactor.compact(table)
+        self.token.reset_costs()
+        self._generation += 1
+
+    def _full_reprovision(
+            self, indexed_columns: Dict[str, Sequence[str]]) -> None:
+        """Rebuild the token image from scratch (index-set changes)."""
         raw_rows = self._compacted_rows()
         old = self.catalog
         dirty = {
@@ -535,10 +610,8 @@ class GhostDB:
             if old.data_generations[t] != old.built_generations[t]
             or old.stats_generations[t] != 0
         }
-        reindexed = (indexed_columns is not None
-                     and indexed_columns != self._indexed_columns)
-        if indexed_columns is not None:
-            self._indexed_columns = indexed_columns
+        reindexed = indexed_columns != self._indexed_columns
+        self._indexed_columns = indexed_columns
         self.token = SecureToken(self.token.config)
         self.untrusted = UntrustedEngine(self.schema)
         self._loader = Loader(self.schema, self.token, self.untrusted,

@@ -197,28 +197,44 @@ class Planner:
     # ------------------------------------------------------------------
     # the ordering step
     # ------------------------------------------------------------------
-    def _order_index(self, bound: BoundQuery) -> Optional[ClimbingIndex]:
+    def _order_index(self, bound: BoundQuery
+                     ) -> Tuple[Optional[ClimbingIndex], Optional[str]]:
         """The climbing index whose value order can serve the ORDER BY.
 
         Usable only when the (single) key column carries an index whose
         levels reach the anchor, *and* no DML has appended entries the
         value-ordered runs do not cover: a non-empty delta log, or fk
         deltas on any level below the anchor, break index order.
+
+        Returns ``(index, None)`` when usable and ``(None, reason)``
+        when an existing index is *gated* by unfolded DML -- the reason
+        lands in the order report (and so in EXPLAIN) together with the
+        ``db.compact(...)`` call that would lift the gate, instead of
+        disappearing into a silent fallback to external sort.
         """
         if len(bound.order_by) != 1 or bound.is_aggregate \
                 or bound.distinct:
-            return None
+            return None, None
         key = bound.order_by[0].column
         index = self.catalog.attr_indexes.get((key.table, key.column.name))
         if index is None or bound.anchor not in index.levels:
-            return None
+            return None, None
         if index.delta_entries:
-            return None
+            return None, (
+                f"(gated: {index.delta_entries} delta-log entries on "
+                f"{key.table}.{key.column.name} break value order; "
+                f"db.compact({key.table!r}) folds them)"
+            )
         anchor_pos = index.levels.index(bound.anchor)
         for level in index.levels[:anchor_pos]:
-            if self.catalog.fk_deltas.get(level):
-                return None
-        return index
+            edges = self.catalog.fk_deltas.get(level)
+            if edges:
+                n = sum(len(v) for v in edges.values())
+                return None, (
+                    f"(gated: {n} fk delta edges on {level} below the "
+                    f"anchor; db.compact({level!r}) folds them)"
+                )
+        return index, None
 
     def _plan_order(self, bound: BoundQuery,
                     override: Optional[SortMethod]) -> Optional[OrderPlan]:
@@ -259,8 +275,9 @@ class Planner:
                 i for i, col in enumerate(bound.projections)
                 if col.table == bound.anchor and col.column.is_id
             )
-        index = self._order_index(bound)
-        report = self.cost_model.estimate_order(bound, index)
+        index, gate_note = self._order_index(bound)
+        report = self.cost_model.estimate_order(bound, index,
+                                                index_note=gate_note)
         if override is not None:
             chosen = next((c for c in report.candidates
                            if c.method is override), None)

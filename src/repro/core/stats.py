@@ -5,8 +5,8 @@ depends on predicate selectivities and table sizes, which means the
 planner must *know* them.  Probing Untrusted with count requests works
 (and is leak-free) but costs one round trip per planned table; the
 token can do better by keeping its own statistics, gathered while the
-rows stream through ``build()``/``rebuild()`` and maintained by the
-incremental DML append paths.
+rows stream through ``build()`` (and each table's compaction swap) and
+maintained by the incremental DML append paths.
 
 Each tracked column carries one :class:`ColumnStats` sketch:
 
@@ -18,7 +18,7 @@ Each tracked column carries one :class:`ColumnStats` sketch:
 * ``min_key``/``max_key`` -- value bounds.  Inserts tighten/extend
   them; deletes leave them untouched, so after deletes they are
   conservative *bounds*, re-tightened by :meth:`TableStats.from_rows`
-  at the next ``rebuild()`` (or ``GhostDB.analyze()``).
+  at the next ``db.compact(table)`` (or ``GhostDB.analyze()``).
 
 The sketches are planner metadata living beside the catalog on the
 secure chip; like the climbing indexes' delta-key Bloom filters they

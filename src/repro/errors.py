@@ -63,6 +63,20 @@ class PlanError(GhostDBError):
     """No valid query execution plan could be produced."""
 
 
+class CompactionError(GhostDBError):
+    """Incremental compaction could not run or was interrupted."""
+
+
+class CompactionDeclined(CompactionError):
+    """The compaction advisor refused to start (or continue) a job.
+
+    Raised *before* any shadow structure is written when the priced
+    flash headroom is below the requirement, so callers never see a
+    half-folded table die on :class:`OutOfSpaceError` mid-step.  The
+    message carries the advisor's verdict and pricing breakdown.
+    """
+
+
 class StorageError(GhostDBError):
     """Record/heap level failure (bad row width, unknown file, ...)."""
 

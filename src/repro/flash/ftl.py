@@ -158,6 +158,21 @@ class Ftl:
         """Number of logical pages currently holding data."""
         return len(self._p2l)
 
+    @property
+    def total_pages(self) -> int:
+        """Size of the logical page space (== physical pages)."""
+        return len(self._l2p)
+
+    def headroom_pages(self) -> int:
+        """Logical pages that can still be written before the device
+        is full: total capacity minus the pages holding live data.
+        Garbage pages count as headroom (GC reclaims them), which is
+        why sizing decisions -- the compaction advisor's in particular
+        -- apply a safety factor on top of this number rather than
+        trusting it raw.
+        """
+        return len(self._l2p) - len(self._p2l)
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------

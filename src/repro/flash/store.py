@@ -28,7 +28,14 @@ PAGE_CACHE_CAPACITY = 512
 
 
 class PageCache:
-    """LRU cache of full logical-page payloads, with hit/miss counters."""
+    """LRU cache of full logical-page payloads, with hit/miss counters.
+
+    Coherence is per logical page and targeted: ``write_page`` refreshes
+    the entry in place and ``free`` invalidates exactly the freed pages.
+    Compaction rewrites (shadow file built, old image freed) therefore
+    never require a wholesale ``clear()`` -- entries for untouched files
+    keep hitting while the swapped table's old pages drop out.
+    """
 
     __slots__ = ("capacity", "hits", "misses", "_pages")
 

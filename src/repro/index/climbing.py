@@ -225,6 +225,13 @@ class ClimbingIndex:
         return self._delta_file.n_pages
 
     @property
+    def delta_log_bytes(self) -> int:
+        """Flash bytes the delta log occupies (compaction reporting)."""
+        if self._delta_file is None:
+            return 0
+        return self._delta_file.n_bytes
+
+    @property
     def delta_bloom_fp(self) -> float:
         """Expected false-positive rate of the delta-key Bloom filter:
         the probability an equality lookup scans the delta log for a
@@ -414,14 +421,21 @@ class ClimbingIndex:
                                                ram)]
 
     # ------------------------------------------------------------------
+    def storage_files(self):
+        """The flash files behind this index: tree, runs, delta log.
+
+        Compaction streams them (charged reads) when folding the index
+        into a freshly bulk-built replacement.
+        """
+        files = [self.btree.file]
+        files.extend(b.file for b in self._runs.values())
+        if self._delta_file is not None:
+            files.append(self._delta_file)
+        return files
+
     def storage_bytes(self) -> int:
         """Flash bytes occupied by the tree, run files and delta log."""
-        total = self.btree.file.n_bytes
-        for builder in self._runs.values():
-            total += builder.file.n_bytes
-        if self._delta_file is not None:
-            total += self._delta_file.n_bytes
-        return total
+        return sum(f.n_bytes for f in self.storage_files())
 
     def free(self) -> None:
         self.btree.free()

@@ -82,6 +82,22 @@ class UntrustedEngine:
     def n_rows(self, table: str) -> int:
         return len(self._rows[table])
 
+    def compact(self, table: str, dead_ids: Sequence[int]) -> int:
+        """Drop ``dead_ids`` and re-densify the visible image.
+
+        Mirrors the token-side compaction of one table: surviving rows
+        keep their relative order, so position == id stays true with
+        the same dense remap the Secure side applied to its hidden
+        image.  Returns the number of rows dropped.
+        """
+        dead = set(dead_ids)
+        if not dead:
+            return 0
+        rows = self._rows[table]
+        self._rows[table] = [row for rid, row in enumerate(rows)
+                             if rid not in dead]
+        return len(rows) - len(self._rows[table])
+
     def visible_columns(self, table: str) -> List[Column]:
         return list(self._visible_cols[table])
 

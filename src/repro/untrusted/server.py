@@ -146,6 +146,23 @@ class VisServer:
         self.engine.load(table, visible_rows)
         return nbytes
 
+    def push_compaction(self, table: str, dead_ids: Sequence[int]) -> int:
+        """Tell Untrusted which visible rows a compaction retires.
+
+        The retired ids are already public: the DELETE statements that
+        tombstoned them were announced over this same channel, so the
+        id list reveals nothing beyond what Untrusted could derive --
+        exactly the disclosure the old full re-provisioning rebuild
+        made when it reloaded a shorter visible image.  Charged and
+        audited like the INSERT path's visible push.
+        """
+        dead_ids = sorted(set(dead_ids))
+        self.token.channel.to_untrusted(
+            max(1, len(dead_ids) * ID_SIZE), kind="dml_visible",
+            description=f"Compact({table}) {len(dead_ids)} rows dropped",
+        )
+        return self.engine.compact(table, dead_ids)
+
     def count(self, table: str,
               predicates: Sequence[VisPredicate]) -> int:
         """Count-only exchange.

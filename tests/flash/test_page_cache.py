@@ -76,6 +76,47 @@ def test_lru_eviction_respects_capacity():
     assert store.page_cache.misses == misses_before + 1
 
 
+def test_shadow_swap_recycled_pages_serve_fresh_bytes():
+    # the compaction pattern: build a shadow copy, free the old image,
+    # keep reading through the shadow.  The freed logical pages get
+    # recycled, so a stale cache entry would surface old-image bytes.
+    store, _, _ = make_store(capacity=16)
+    old = store.create("hidden_T0")
+    for i in range(4):
+        old.append_page(bytes([0xAA, i]) * 50)
+    for i in range(4):
+        old.read_page(i)               # warm the cache with old bytes
+    shadow = store.create("hidden_T0~c0")
+    for i in range(4):
+        shadow.append_page(bytes([0xBB, i]) * 50)
+    old.free()                         # swap: old image invalidated
+    recycled = store.create("hidden_T0")   # name free again after free()
+    recycled.append_page(b"fresh")
+    assert recycled.read_page(0) == b"fresh"
+    for i in range(4):
+        assert shadow.read_page(i) == bytes([0xBB, i]) * 50
+
+
+def test_free_invalidation_is_targeted_not_a_clear():
+    store, _, _ = make_store(capacity=16)
+    keep = store.create("keep")
+    drop = store.create("drop")
+    for i in range(3):
+        keep.append_page(bytes([1, i]) * 20)
+        drop.append_page(bytes([2, i]) * 20)
+    for i in range(3):
+        keep.read_page(i)
+        drop.read_page(i)
+    cached_before = len(store.page_cache)
+    drop.free()
+    # only drop's pages left the cache; keep's entries still hit
+    assert len(store.page_cache) == cached_before - 3
+    misses_before = store.page_cache.misses
+    for i in range(3):
+        assert keep.read_page(i) == bytes([1, i]) * 20
+    assert store.page_cache.misses == misses_before
+
+
 def test_page_cache_unit_behavior():
     cache = PageCache(capacity=2)
     assert cache.get(1) is None
