@@ -62,7 +62,7 @@ def test_ablation_post_filter_under_ram_pressure(benchmark, save_table):
                 SyntheticConfig(scale=0.005),
                 token_config=TokenConfig(ram_bytes=ram_bytes),
             )
-            result = db.query(query_q(0.5), vis_strategy="post",
+            result = db.execute(query_q(0.5), vis_strategy="post",
                               cross=False)
             out.append({
                 "ram_bytes": ram_bytes,

@@ -21,7 +21,7 @@ def test_ablation_ram_size(benchmark, save_table):
                 SyntheticConfig(scale=0.005),
                 token_config=TokenConfig(ram_bytes=ram_bytes),
             )
-            result = db.query(query_q_with_hidden_projection(0.2))
+            result = db.execute(query_q_with_hidden_projection(0.2))
             if expected is None:
                 expected = sorted(result.rows)
             assert sorted(result.rows) == expected

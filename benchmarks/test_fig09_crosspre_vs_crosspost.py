@@ -32,7 +32,7 @@ def test_fig09_sjoin_saturation(benchmark, synthetic_db):
 
     def sjoin_pages(sv):
         before = synthetic_db.token.ledger.counters["pages_read"]
-        synthetic_db.query(query_q(sv), vis_strategy="pre", cross=True)
+        synthetic_db.execute(query_q(sv), vis_strategy="pre", cross=True)
         return synthetic_db.token.ledger.counters["pages_read"] - before
 
     low, high = benchmark.pedantic(

@@ -21,17 +21,17 @@ from repro import GhostDB
 
 def build_database() -> GhostDB:
     db = GhostDB()
-    db.execute_ddl(
+    db.execute(
         "CREATE TABLE Orders (id int, "
         "customer_id int HIDDEN REFERENCES Customers, "
         "product_id int HIDDEN REFERENCES Products, "
         "quantity int, discount_pct int HIDDEN)"
     )
-    db.execute_ddl(
+    db.execute(
         "CREATE TABLE Customers (id int, region char(20), "
         "name char(40) HIDDEN, credit_rating int HIDDEN)"
     )
-    db.execute_ddl(
+    db.execute(
         "CREATE TABLE Products (id int, name char(40), list_price int, "
         "margin_pct int HIDDEN)"
     )
@@ -69,7 +69,7 @@ def main() -> None:
         "AND Orders.product_id = Products.id "
         "AND Products.list_price >= 700 AND Orders.discount_pct >= 20"
     )
-    result = db.query(sql)
+    result = db.execute(sql)
     print(f"   -> {len(result.rows)} orders, "
           f"{result.stats.total_s * 1000:.1f} ms simulated")
     for row in result.rows[:5]:
@@ -88,7 +88,7 @@ def main() -> None:
         "AND Customers.credit_rating = 1 "
         "GROUP BY Products.id"
     )
-    result = db.query(sql)
+    result = db.execute(sql)
     top = sorted(result.rows, key=lambda r: -r[1])[:5]
     print(f"   -> {len(result.rows)} products; top exposure: {top}")
     _, expected = db.reference_query(sql)
@@ -106,7 +106,7 @@ def main() -> None:
         )
         plan = db.plan_query(sql)
         choice = plan.vis_plans["Products"].describe()
-        t = db.query(sql).stats.total_s
+        t = db.execute(sql).stats.total_s
         print(f"   list_price >= {price:3d}: planner chose {choice:18s}"
               f" ({t * 1000:7.1f} ms)")
 

@@ -57,10 +57,12 @@ def main() -> int:
     opts = parser.parse_args()
 
     fresh_path = pathlib.Path(opts.fresh)
-    fresh = wall_means(json.loads(fresh_path.read_text()))
+    fresh_report = json.loads(fresh_path.read_text())
+    fresh = wall_means(fresh_report)
     base_path = (pathlib.Path(opts.baseline) if opts.baseline
                  else latest_baseline(exclude=fresh_path))
-    base = wall_means(json.loads(base_path.read_text()))
+    base_report = json.loads(base_path.read_text())
+    base = wall_means(base_report)
 
     print(f"baseline: {base_path.name}")
     print(f"fresh   : {fresh_path.name}")
@@ -83,11 +85,24 @@ def main() -> int:
         print(f"{name:30s} {base[name]:10.3f} {fresh[name]:10.3f} "
               f"{ratio:6.2f}x{flag}")
 
+    # service throughput goes the other way: *lower* q/s is the
+    # regression (latency benchmarks above warn on higher wall time)
+    fresh_qps = fresh_report.get("service_loadgen", {}).get("qps")
+    base_qps = base_report.get("service_loadgen", {}).get("qps")
+    if fresh_qps is not None and base_qps:
+        ratio = fresh_qps / base_qps
+        flag = ""
+        if ratio < 1.0 - opts.threshold:
+            flag = f"  REGRESSION (< -{opts.threshold:.0%})"
+            regressions.append("service_loadgen.qps")
+        print(f"{'service_loadgen q/s':30s} {base_qps:10.1f} "
+              f"{fresh_qps:10.1f} {ratio:6.2f}x{flag}")
+
     if regressions:
         print(f"\nWARNING: {len(regressions)} benchmark(s) regressed "
               f"beyond {opts.threshold:.0%}: {', '.join(regressions)}")
         return 1
-    print("\nno wall-time regressions beyond the threshold")
+    print("\nno regressions beyond the threshold")
     return 0
 
 

@@ -24,7 +24,7 @@ import pathlib
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 TABLES = ("fig10_pre_vs_post", "fig14_throughput", "sort_topk",
-          "compaction_churn")
+          "compaction_churn", "service_loadgen")
 
 
 def main() -> None:
@@ -61,6 +61,11 @@ def main() -> None:
         "benchmarks": benchmarks,
         "simulated_tables": simulated,
     }
+    # the service load generator additionally leaves a machine-readable
+    # throughput point; fold it in so bench_compare can diff q/s
+    loadgen = REPO / "results" / "service_loadgen.json"
+    if loadgen.exists():
+        report["service_loadgen"] = json.loads(loadgen.read_text())
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}: {len(benchmarks)} benchmark(s), "
           f"{len(simulated)} simulated table(s)")

@@ -29,8 +29,9 @@ Every statement goes through one entry point, ``db.execute()``::
 and takes ``?`` placeholders via ``params``.  SELECTs run through the
 default session's plan cache; DML returns a
 :class:`~repro.core.dml.DmlResult` whose cost scales with the
-appended/affected rows, not the table size.  (``db.execute_ddl()`` and
-``db.query()`` survive as deprecated shims.)
+appended/affected rows, not the table size.  (The historical
+``db.execute_ddl()``/``db.query()`` shims are gone; ``execute()`` is
+the one entry point.)
 
 Repeated query templates should go through the prepared-statement
 layer, which plans once and substitutes parameters per execution::
@@ -53,7 +54,6 @@ verifiable via ``db.audit_outbound()``.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 import weakref
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -76,7 +76,7 @@ from repro.core.sort import (OrderByExecutor, dedup_rows, sort_projections,
                              strip_internal_columns)
 from repro.errors import BindError, GhostDBError, SchemaError
 from repro.hardware.token import SecureToken, TokenConfig
-from repro.schema.ddl import column_from_def, table_from_sql
+from repro.schema.ddl import column_from_def
 from repro.schema.model import Schema, Table
 from repro.sql import ast
 from repro.sql.binder import Binder, BoundDelete, BoundInsert
@@ -189,20 +189,20 @@ class GhostDB:
                  ) -> DmlResult:
         """Apply one DML statement inside a per-statement cost window."""
         before = self.token.ledger.snapshot()
-        self.token.ram.reset_peak()
         ch = self.token.channel.stats
         in_before, out_before = ch.bytes_to_secure, ch.bytes_to_untrusted
-        if isinstance(bound, BoundInsert):
-            statement = "insert"
-            affected = self._dml.insert(bound)
-        else:
-            statement = "delete"
-            affected = self._dml.delete(bound)
+        with self.token.ram.query_window() as window:
+            if isinstance(bound, BoundInsert):
+                statement = "insert"
+                affected = self._dml.insert(bound)
+            else:
+                statement = "delete"
+                affected = self._dml.delete(bound)
         stats = self._stats_between(before, self.token.ledger.snapshot(),
                                     rows=())
         stats.bytes_to_secure = ch.bytes_to_secure - in_before
         stats.bytes_to_untrusted = ch.bytes_to_untrusted - out_before
-        stats.ram_peak = self.token.ram.peak_used
+        stats.ram_peak = window.peak
         stats.result_rows = affected
         return DmlResult(statement=statement, table=bound.table,
                          rows_affected=affected, stats=stats)
@@ -214,20 +214,6 @@ class GhostDB:
         if self.schema is not None:
             raise SchemaError("schema already finalized (rows were loaded)")
         self._ddl_tables.append(table)
-
-    def execute_ddl(self, sql: str) -> None:
-        """Register one CREATE TABLE statement.
-
-        .. deprecated:: use :meth:`execute` -- the unified statement
-           entry point -- instead.
-        """
-        warnings.warn(
-            "GhostDB.execute_ddl() is deprecated; use "
-            "GhostDB.execute(sql) instead -- see 'Migrating to "
-            "db.execute()' in docs/ARCHITECTURE.md",
-            DeprecationWarning, stacklevel=2,
-        )
-        self._register_table(table_from_sql(sql))
 
     def _finalize_schema(self) -> None:
         if self.schema is None:
@@ -347,32 +333,6 @@ class GhostDB:
             text += "\n".join(lines)
         return text
 
-    def query(self, sql: str,
-              vis_strategy: StrategyLike = None,
-              cross: Optional[bool] = None,
-              projection: Union[str, ProjectionMode] = "project",
-              params: Optional[Sequence] = None,
-              ) -> QueryResult:
-        """Execute a SELECT linking Visible and Hidden data.
-
-        ``vis_strategy`` forces Pre/Post/Post-Select/NoFilter for every
-        visible selection (``None`` = cost-based choice); ``cross``
-        toggles Cross-filtering; ``projection`` picks the projection
-        algorithm variant.
-
-        .. deprecated:: use :meth:`execute` -- the unified statement
-           entry point -- instead.
-        """
-        warnings.warn(
-            "GhostDB.query() is deprecated; use GhostDB.execute(sql) "
-            "instead -- see 'Migrating to db.execute()' in "
-            "docs/ARCHITECTURE.md",
-            DeprecationWarning, stacklevel=2,
-        )
-        self._require_built()
-        return self._session_default().query(sql, params, vis_strategy,
-                                             cross, projection)
-
     def execute_plan(self, plan: QueryPlan, *, announce: bool = True,
                      vis_seed: Optional[Dict] = None) -> QueryResult:
         """Run an already-planned query and collect its cost report.
@@ -385,43 +345,44 @@ class GhostDB:
         """
         self._require_built()
         before = self.token.ledger.snapshot()
-        self.token.ram.reset_peak()
         ch = self.token.channel.stats
         in_before, out_before = ch.bytes_to_secure, ch.bytes_to_untrusted
-        if announce:
-            # the query text itself is the one thing Secure reveals
-            with self.token.label("Vis"):
-                self.token.channel.to_untrusted(
-                    max(1, len(plan.bound.sql)), kind="query",
-                    description=plan.bound.sql[:80],
+        with self.token.ram.query_window() as window:
+            if announce:
+                # the query text itself is the one thing Secure reveals
+                with self.token.label("Vis"):
+                    self.token.channel.to_untrusted(
+                        max(1, len(plan.bound.sql)), kind="query",
+                        description=plan.bound.sql[:80],
+                    )
+            ctx = ExecContext(self.token, self.catalog, self._vis_server,
+                              plan.bound)
+            if vis_seed:
+                for (table, columns), result in vis_seed.items():
+                    ctx.seed_vis(table, result, columns)
+            sj = QepSjExecutor(ctx).execute(plan)
+            try:
+                names, rows = ProjectionExecutor(ctx).execute(
+                    sj, plan.projection_mode
                 )
-        ctx = ExecContext(self.token, self.catalog, self._vis_server,
-                          plan.bound)
-        if vis_seed:
-            for (table, columns), result in vis_seed.items():
-                ctx.seed_vis(table, result, columns)
-        sj = QepSjExecutor(ctx).execute(plan)
-        try:
-            names, rows = ProjectionExecutor(ctx).execute(
-                sj, plan.projection_mode
-            )
-        finally:
-            sj.free()
-        if plan.bound.is_aggregate:
-            names, rows = apply_aggregates(plan.bound,
-                                           plan.bound.projections, rows)
-        elif plan.bound.distinct:
-            rows = dedup_rows(rows)
-        if plan.order is not None:
-            rows = OrderByExecutor(ctx, plan.order).execute(rows)
+            finally:
+                sj.free()
+            if plan.bound.is_aggregate:
+                names, rows = apply_aggregates(plan.bound,
+                                               plan.bound.projections, rows)
+            elif plan.bound.distinct:
+                rows = dedup_rows(rows)
+            if plan.order is not None:
+                rows = OrderByExecutor(ctx, plan.order).execute(rows)
         names, rows = strip_internal_columns(plan.bound, names, rows)
         after = self.token.ledger.snapshot()
         stats = self._stats_between(before, after, rows)
         stats.bytes_to_secure = ch.bytes_to_secure - in_before
         stats.bytes_to_untrusted = ch.bytes_to_untrusted - out_before
-        # reset_peak() above opened a per-query window, so this is the
-        # true peak of *this* query, not the token's lifetime peak
-        stats.ram_peak = self.token.ram.peak_used
+        # the per-query attribution window ensures this is the peak of
+        # *this* query's allocations, even when other statements
+        # interleave on the shared token (service admission control)
+        stats.ram_peak = window.peak
         return QueryResult(columns=names, rows=rows, stats=stats, plan=plan)
 
     # ------------------------------------------------------------------

@@ -29,15 +29,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import (TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence,
-                    Tuple, Union)
+from typing import (TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
 
 from repro.core.executor import QueryResult, QueryStats
 from repro.core.operators import to_vis_predicates
 from repro.core.plan import ProjectionMode, QueryPlan
 from repro.core.planner import (SortMethodLike, StrategyLike, _coerce_mode,
                                 _coerce_sort_method, _coerce_strategy)
-from repro.errors import BindError, GhostDBError
+from repro.errors import BindError, GhostDBError, SnapshotError
 from repro.sql.binder import BoundQuery
 from repro.sql.lexer import normalize_sql
 from repro.untrusted.server import VisRequest, VisResult
@@ -171,11 +171,20 @@ class PreparedStatement:
         return self.template.param_count
 
     # ------------------------------------------------------------------
-    def _plan_for(self, bound: BoundQuery) -> QueryPlan:
-        """The template plan, from the session cache or planned fresh."""
+    def plan_for(self, bound: BoundQuery,
+                 generations: Optional[Dict[str, Tuple[int, int]]] = None
+                 ) -> QueryPlan:
+        """The template plan, from the session cache or planned fresh.
+
+        ``generations`` validates the cache entry against a caller-held
+        (pinned) generation map instead of the live one -- the service
+        layer plans against the same snapshot it executes under.
+        """
         db = self.session.db
         cache = self.session.plan_cache
-        plan = cache.get(self._key, db.table_generations)
+        gens = generations if generations is not None \
+            else db.table_generations
+        plan = cache.get(self._key, gens)
         if plan is None:
             plan = db._planner.plan(
                 bound, self._vis_strategy, self._cross, self._projection,
@@ -188,7 +197,7 @@ class PreparedStatement:
     def execute(self, params: Sequence = ()) -> QueryResult:
         """Run once with ``params`` substituted for the placeholders."""
         bound = self.template.substitute(tuple(params))
-        plan = self._plan_for(bound).with_bound(bound)
+        plan = self.plan_for(bound).with_bound(bound)
         self.executions += 1
         return self.session.db.execute_plan(plan)
 
@@ -326,6 +335,58 @@ class Session:
         self.plan_cache.invalidate()
 
     # ------------------------------------------------------------------
+    # snapshot-pinned execution (the service layer's isolation path)
+    # ------------------------------------------------------------------
+    def pin_generations(self, tables: Optional[Iterable[str]] = None
+                        ) -> Dict[str, Tuple[int, int]]:
+        """Snapshot the per-table ``(data, stats)`` generations.
+
+        The returned map is the statement's *snapshot pin*: pass it to
+        :meth:`execute_pinned` and the execution is guaranteed (by
+        assertion, not sampling) to have observed exactly these
+        generations for every touched table.
+        """
+        gens = self.db.table_generations
+        if tables is None:
+            return dict(gens)
+        return {t: gens[t] for t in tables}
+
+    def execute_pinned(self, plan: QueryPlan,
+                       pinned: Dict[str, Tuple[int, int]],
+                       announce: bool = True) -> QueryResult:
+        """Run an already-planned SELECT under a generation pin.
+
+        Raises :class:`~repro.errors.SnapshotError` if any touched
+        table's generations differ from ``pinned`` either at start or
+        after execution -- a reader can therefore never return rows
+        derived from a mixed-generation state.  (DML and compaction are
+        serialized on the writer lane and statements execute atomically
+        on the token, so under the service this assertion documents and
+        *enforces* the isolation the architecture provides.)
+        """
+        self._check_pin(plan, pinned, "at statement start")
+        result = self.db.execute_plan(plan, announce=announce)
+        self._check_pin(plan, pinned, "after execution")
+        return result
+
+    def _check_pin(self, plan: QueryPlan,
+                   pinned: Dict[str, Tuple[int, int]], when: str) -> None:
+        live = self.db.table_generations
+        moved = {
+            t: (gen, live.get(t))
+            for t, gen in pinned.items()
+            if t in plan.bound.tables and live.get(t) != gen
+        }
+        if moved:
+            raise SnapshotError(
+                f"pinned generations violated {when}: "
+                + ", ".join(
+                    f"{t} pinned {was} now {now}"
+                    for t, (was, now) in sorted(moved.items())
+                )
+            )
+
+    # ------------------------------------------------------------------
     def _plan_cached(self, sql: str, vis_strategy: StrategyLike,
                      cross: Optional[bool],
                      projection: Union[str, ProjectionMode],
@@ -358,7 +419,7 @@ class Session:
             return BatchResult([], QueryStats.aggregate(()), 0, 0)
         bounds = [stmt.template.substitute(p) for p in param_sets]
         window = self._open_window()
-        plan = stmt._plan_for(bounds[0])
+        plan = stmt.plan_for(bounds[0])
         plans = [plan.with_bound(b) for b in bounds]
         # one audited message carries the template and every value set
         nbytes = max(1, len(stmt.sql)) + 8 * stmt.param_count * len(bounds)

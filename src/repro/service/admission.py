@@ -1,0 +1,180 @@
+"""Admission control: pledge planned RAM peaks before running.
+
+The secure token has one 64 KB RAM; the service lets many statements
+be *in flight* (admitted, possibly queued behind the token for actual
+execution) at once.  Before a statement may enter the execution
+pipeline it must pledge its planned ``ram_peak`` against the budget
+through :class:`AdmissionController`:
+
+* If the claim fits alongside the already admitted set, the statement
+  is admitted immediately.
+* Otherwise it waits in a strictly FIFO queue -- *fair* in the sense
+  that no later, smaller statement can overtake and starve a large
+  one.  Queue depth and wait times are counted for the ``stats`` op.
+* A claim larger than the whole budget can never be satisfied and is
+  rejected up front with :class:`~repro.errors.AdmissionError` (the
+  planner raises :class:`~repro.errors.PlanError` for genuinely
+  infeasible plans long before this).
+
+The underlying ledger is
+:class:`~repro.hardware.ram.RamReservations`, which hard-raises if the
+admitted set would ever pledge more than the capacity -- the
+"admitted set never exceeds the 64 KB budget" invariant is asserted on
+every admission, not sampled by tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from typing import Callable, Deque, Dict
+
+from repro.errors import AdmissionError
+from repro.hardware.ram import RamReservation, SecureRam
+
+
+class AdmissionTicket:
+    """One admitted statement's pledge; release when the statement ends."""
+
+    __slots__ = ("controller", "reservation", "claim", "label", "waited_s")
+
+    def __init__(self, controller: "AdmissionController",
+                 reservation: RamReservation, claim: int, label: str,
+                 waited_s: float):
+        self.controller = controller
+        self.reservation = reservation
+        self.claim = claim
+        self.label = label
+        self.waited_s = waited_s
+
+    def release(self) -> None:
+        """Return the pledged RAM and admit eligible queued statements."""
+        if not self.reservation.released:
+            self.reservation.release()
+            self.controller._pump()
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class _Waiter:
+    __slots__ = ("claim", "label", "future", "enqueued_at")
+
+    def __init__(self, claim: int, label: str,
+                 future: "asyncio.Future[RamReservation]",
+                 enqueued_at: float):
+        self.claim = claim
+        self.label = label
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class AdmissionController:
+    """FIFO fair admission of statements against one RAM budget."""
+
+    def __init__(self, ram: SecureRam,
+                 clock: Callable[[], float] = time.monotonic):
+        self.ledger = ram.reservations()
+        self._queue: Deque[_Waiter] = deque()
+        self._clock = clock
+        # counters surfaced by the server's ``stats`` op
+        self.admitted = 0
+        self.admitted_immediately = 0
+        self.queued_total = 0
+        self.max_queue_depth = 0
+        self.wait_s_total = 0.0
+        self.wait_s_max = 0.0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Statements currently waiting for admission."""
+        return len(self._queue)
+
+    def describe(self) -> Dict[str, float]:
+        """Counter snapshot for the ``stats`` response."""
+        return {
+            "capacity": self.ledger.capacity,
+            "reserved_now": self.ledger.reserved,
+            "active_now": self.ledger.active,
+            "peak_reserved": self.ledger.peak_reserved,
+            "max_coadmitted": self.ledger.max_coadmitted,
+            "admitted": self.admitted,
+            "admitted_immediately": self.admitted_immediately,
+            "queued_total": self.queued_total,
+            "queue_depth": self.queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "wait_s_total": round(self.wait_s_total, 6),
+            "wait_s_max": round(self.wait_s_max, 6),
+            "rejected": self.rejected,
+        }
+
+    # ------------------------------------------------------------------
+    async def admit(self, claim: int, label: str = "") -> AdmissionTicket:
+        """Admit a statement pledging ``claim`` bytes of secure RAM.
+
+        Returns immediately when the claim fits alongside the admitted
+        set *and* no earlier statement is still queued (FIFO: arrivals
+        never overtake).  Otherwise the caller waits until enough
+        pledges are released.
+        """
+        claim = int(claim)
+        if claim > self.ledger.capacity:
+            self.rejected += 1
+            raise AdmissionError(
+                f"{label or 'statement'} claims {claim} bytes of secure "
+                f"RAM; the whole budget is {self.ledger.capacity} bytes"
+            )
+        if not self._queue and self.ledger.fits(claim):
+            reservation = self.ledger.reserve(claim, label)
+            self.admitted += 1
+            self.admitted_immediately += 1
+            return AdmissionTicket(self, reservation, claim, label, 0.0)
+        loop = asyncio.get_running_loop()
+        waiter = _Waiter(claim, label, loop.create_future(), self._clock())
+        self._queue.append(waiter)
+        self.queued_total += 1
+        self.max_queue_depth = max(self.max_queue_depth, len(self._queue))
+        try:
+            reservation = await waiter.future
+        except asyncio.CancelledError:
+            # a cancelled waiter must neither hold its queue slot nor,
+            # if it was granted concurrently, its reservation
+            try:
+                self._queue.remove(waiter)
+            except ValueError:
+                pass
+            if waiter.future.done() and not waiter.future.cancelled():
+                waiter.future.result().release()
+            self._pump()
+            raise
+        waited = self._clock() - waiter.enqueued_at
+        self.admitted += 1
+        self.wait_s_total += waited
+        self.wait_s_max = max(self.wait_s_max, waited)
+        return AdmissionTicket(self, reservation, waiter.claim, label,
+                               waited)
+
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Admit queued statements from the head while they fit.
+
+        The reservation is taken *here*, before the waiter wakes, so a
+        later arrival racing through :meth:`admit` can never steal the
+        space out from under an already granted waiter.
+        """
+        while self._queue:
+            head = self._queue[0]
+            if head.future.cancelled():
+                self._queue.popleft()
+                continue
+            if not self.ledger.fits(head.claim):
+                break
+            self._queue.popleft()
+            head.future.set_result(
+                self.ledger.reserve(head.claim, head.label))

@@ -1,0 +1,237 @@
+"""Client libraries for the GhostDB query service.
+
+Two flavors over the same framed protocol:
+
+* :class:`GhostClient` -- a blocking socket client, one request in
+  flight at a time.  The ergonomic choice for scripts and examples.
+* :class:`AsyncGhostClient` -- an asyncio client that pipelines: many
+  coroutines may issue requests concurrently over one connection, and
+  a background reader task routes each response to its caller by the
+  echoed request id.  This is what the load generator and the
+  concurrency property suite drive.
+
+Server-reported failures raise :class:`ServiceError`, which carries
+the server's ``error_type`` (the engine exception class name, e.g.
+``CompactionDeclined`` or ``SnapshotError``) for callers that branch
+on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import GhostDBError
+from repro.service.protocol import (read_frame, read_frame_sync,
+                                    write_frame, write_frame_sync)
+
+
+class ServiceError(GhostDBError):
+    """A request the server answered with ``ok: false``."""
+
+    def __init__(self, message: str, error_type: str = ""):
+        super().__init__(message)
+        self.error_type = error_type
+
+
+@dataclass
+class ServiceResult:
+    """One successful response, lightly structured.
+
+    ``kind`` is the server's response kind (``rows``, ``dml``,
+    ``compacted``, ``ok``, ``stats``, ``pong``); the raw payload stays
+    available as ``raw`` for fields not lifted into attributes.
+    """
+
+    kind: str
+    columns: List[str] = field(default_factory=list)
+    rows: List[Tuple] = field(default_factory=list)
+    rows_affected: int = 0
+    writer_seq: Optional[int] = None
+    generations: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    stats: Dict[str, Any] = field(default_factory=dict)
+    raw: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_response(cls, response: dict) -> "ServiceResult":
+        return cls(
+            kind=response.get("kind", ""),
+            columns=list(response.get("columns") or ()),
+            rows=[tuple(r) for r in response.get("rows") or ()],
+            rows_affected=response.get("rows_affected", 0),
+            writer_seq=response.get("writer_seq"),
+            generations={
+                t: tuple(g)
+                for t, g in (response.get("generations") or {}).items()
+            },
+            stats=response.get("stats") or {},
+            raw=response,
+        )
+
+
+def _check(response: Optional[dict]) -> dict:
+    if response is None:
+        raise ServiceError("connection closed by server", "ConnectionLost")
+    if not response.get("ok"):
+        raise ServiceError(response.get("error", "unknown server error"),
+                           response.get("error_type", ""))
+    return response
+
+
+class GhostClient:
+    """Blocking client: connect, request, response, repeat."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._next_id = 1
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "GhostClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _call(self, payload: dict) -> dict:
+        payload["id"] = self._next_id
+        self._next_id += 1
+        write_frame_sync(self._sock, payload)
+        return _check(read_frame_sync(self._sock))
+
+    def execute(self, sql: str,
+                params: Optional[Sequence] = None) -> ServiceResult:
+        """Run one statement of any supported kind."""
+        return ServiceResult.from_response(self._call(
+            {"op": "execute", "sql": sql,
+             "params": list(params) if params else None}))
+
+    def prepare(self, sql: str) -> int:
+        """Prepare a SELECT template; returns the statement id."""
+        return self._call({"op": "prepare", "sql": sql})["stmt"]
+
+    def exec_stmt(self, stmt: int,
+                  params: Sequence = ()) -> ServiceResult:
+        """Execute a prepared statement with ``params``."""
+        return ServiceResult.from_response(self._call(
+            {"op": "exec_stmt", "stmt": stmt, "params": list(params)}))
+
+    def compact(self, table: str,
+                max_steps: Optional[int] = None) -> ServiceResult:
+        """Ask the server to (incrementally) compact ``table``."""
+        return ServiceResult.from_response(self._call(
+            {"op": "compact", "table": table, "max_steps": max_steps}))
+
+    def server_stats(self) -> Dict[str, Any]:
+        """The server's counter snapshot (admission, service, cache)."""
+        return self._call({"op": "stats"})
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return self._call({"op": "ping"})["kind"] == "pong"
+
+
+class AsyncGhostClient:
+    """Pipelining asyncio client: concurrent requests, one connection."""
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, "asyncio.Future[dict]"] = {}
+        self._next_id = 1
+        self._reader_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncGhostClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.open_connection(
+            host, port)
+        client._reader_task = asyncio.ensure_future(client._read_loop())
+        return client
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._fail_pending("connection closed")
+
+    async def __aenter__(self) -> "AsyncGhostClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                response = await read_frame(self._reader)
+                if response is None:
+                    break
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        finally:
+            self._fail_pending("server closed the connection")
+
+    def _fail_pending(self, why: str) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(ServiceError(why, "ConnectionLost"))
+
+    async def _call(self, payload: dict) -> dict:
+        req_id = self._next_id
+        self._next_id += 1
+        payload["id"] = req_id
+        future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        async with self._write_lock:
+            await write_frame(self._writer, payload)
+        return _check(await future)
+
+    async def execute(self, sql: str,
+                      params: Optional[Sequence] = None) -> ServiceResult:
+        """Run one statement of any supported kind."""
+        return ServiceResult.from_response(await self._call(
+            {"op": "execute", "sql": sql,
+             "params": list(params) if params else None}))
+
+    async def prepare(self, sql: str) -> int:
+        """Prepare a SELECT template; returns the statement id."""
+        return (await self._call({"op": "prepare", "sql": sql}))["stmt"]
+
+    async def exec_stmt(self, stmt: int,
+                        params: Sequence = ()) -> ServiceResult:
+        """Execute a prepared statement with ``params``."""
+        return ServiceResult.from_response(await self._call(
+            {"op": "exec_stmt", "stmt": stmt, "params": list(params)}))
+
+    async def compact(self, table: str,
+                      max_steps: Optional[int] = None) -> ServiceResult:
+        """Ask the server to (incrementally) compact ``table``."""
+        return ServiceResult.from_response(await self._call(
+            {"op": "compact", "table": table, "max_steps": max_steps}))
+
+    async def server_stats(self) -> Dict[str, Any]:
+        """The server's counter snapshot (admission, service, cache)."""
+        return await self._call({"op": "stats"})
+
+    async def ping(self) -> bool:
+        """Liveness probe."""
+        return (await self._call({"op": "ping"}))["kind"] == "pong"

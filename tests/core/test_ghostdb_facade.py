@@ -10,9 +10,9 @@ from repro.errors import GhostDBError, SchemaError
 
 def make_db():
     db = GhostDB()
-    db.execute_ddl("CREATE TABLE P (id int, fk int HIDDEN REFERENCES C, "
+    db.execute("CREATE TABLE P (id int, fk int HIDDEN REFERENCES C, "
                    "v int, h int HIDDEN)")
-    db.execute_ddl("CREATE TABLE C (id int, v int, h int HIDDEN)")
+    db.execute("CREATE TABLE C (id int, v int, h int HIDDEN)")
     db.load("C", [(i, i % 2) for i in range(10)])
     db.load("P", [(i % 10, i, i % 4) for i in range(50)])
     db.build()
@@ -21,9 +21,9 @@ def make_db():
 
 def test_query_before_build_rejected():
     db = GhostDB()
-    db.execute_ddl("CREATE TABLE X (id int, v int)")
+    db.execute("CREATE TABLE X (id int, v int)")
     with pytest.raises(GhostDBError):
-        db.query("SELECT X.id FROM X")
+        db.execute("SELECT X.id FROM X")
 
 
 def test_no_tables_rejected():
@@ -34,10 +34,10 @@ def test_no_tables_rejected():
 
 def test_ddl_after_load_rejected():
     db = GhostDB()
-    db.execute_ddl("CREATE TABLE X (id int, v int)")
+    db.execute("CREATE TABLE X (id int, v int)")
     db.load("X", [(1,)])
     with pytest.raises(SchemaError):
-        db.execute_ddl("CREATE TABLE Y (id int, v int)")
+        db.execute("CREATE TABLE Y (id int, v int)")
 
 
 def test_load_after_build_rejected():
@@ -59,7 +59,7 @@ def test_build_resets_cost_ledger():
 
 def test_query_stats_shape():
     db = make_db()
-    result = db.query("SELECT P.id FROM P, C WHERE P.fk = C.id "
+    result = db.execute("SELECT P.id FROM P, C WHERE P.fk = C.id "
                       "AND C.h = 1 AND P.v < 20")
     stats = result.stats
     assert stats.total_s > 0
@@ -73,8 +73,8 @@ def test_query_stats_shape():
 def test_stats_are_per_query_not_cumulative():
     db = make_db()
     sql = "SELECT C.id FROM C WHERE C.h = 1"
-    first = db.query(sql).stats.total_s
-    second = db.query(sql).stats.total_s
+    first = db.execute(sql).stats.total_s
+    second = db.execute(sql).stats.total_s
     assert second == pytest.approx(first, rel=0.2)
 
 
@@ -88,15 +88,15 @@ def test_set_throughput_changes_comm_time():
     db = make_db()
     sql = "SELECT C.id FROM C WHERE C.v < 8 AND C.h = 1"
     db.set_throughput(0.1)
-    slow = db.query(sql).stats.total_s
+    slow = db.execute(sql).stats.total_s
     db.set_throughput(10.0)
-    fast = db.query(sql).stats.total_s
+    fast = db.execute(sql).stats.total_s
     assert slow > fast
 
 
 def test_result_columns_named():
     db = make_db()
-    result = db.query("SELECT P.id, C.h FROM P, C WHERE P.fk = C.id "
+    result = db.execute("SELECT P.id, C.h FROM P, C WHERE P.fk = C.id "
                       "AND C.h = 0")
     assert result.columns == ["P.id", "C.h"]
 
@@ -115,36 +115,29 @@ def test_storage_report_available_after_build():
     assert sum(report.values()) > 0
 
 
-def test_deprecated_shims_warn_and_still_work():
-    """``execute_ddl``/``query`` keep working but point at execute()."""
+def test_deprecated_shims_are_gone():
+    """The two-majors-old ``execute_ddl``/``query`` shims are removed;
+    ``execute()`` is the single statement entry point and warns about
+    nothing."""
     db = GhostDB()
+    assert not hasattr(db, "execute_ddl")
+    assert not hasattr(db, "query")
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
-        db.execute_ddl("CREATE TABLE X (id int, v int, h int HIDDEN)")
-    assert any(issubclass(w.category, DeprecationWarning)
-               and "execute" in str(w.message) for w in caught)
-    db.load("X", [(i, i % 3) for i in range(20)])
-    db.build()
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        result = db.query("SELECT X.id FROM X WHERE X.h = 1")
-    assert any(issubclass(w.category, DeprecationWarning)
-               and "execute" in str(w.message) for w in caught)
-    _, expected = db.reference_query("SELECT X.id FROM X WHERE X.h = 1")
-    assert sorted(result.rows) == sorted(expected)
-    # the replacement gives the same answer with no warning
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        modern = db.execute("SELECT X.id FROM X WHERE X.h = 1")
+        db.execute("CREATE TABLE X (id int, v int, h int HIDDEN)")
+        db.load("X", [(i, i % 3) for i in range(20)])
+        db.build()
+        result = db.execute("SELECT X.id FROM X WHERE X.h = 1")
     assert not [w for w in caught
                 if issubclass(w.category, DeprecationWarning)]
-    assert sorted(modern.rows) == sorted(expected)
+    _, expected = db.reference_query("SELECT X.id FROM X WHERE X.h = 1")
+    assert sorted(result.rows) == sorted(expected)
 
 
 def test_ram_balanced_after_many_queries():
     db = make_db()
     for strategy in ("pre", "post", "post-select", "nofilter"):
-        db.query("SELECT P.id, C.v FROM P, C WHERE P.fk = C.id "
+        db.execute("SELECT P.id, C.v FROM P, C WHERE P.fk = C.id "
                  "AND C.v < 8 AND P.h = 1", vis_strategy=strategy)
     assert db.token.ram.used == 0
     db.token.ram.assert_all_freed()

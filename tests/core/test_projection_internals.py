@@ -6,11 +6,11 @@ from repro import GhostDB, TokenConfig
 
 def build_db(ram_bytes=65536, n_child=40, n_root=400):
     db = GhostDB(config=TokenConfig(ram_bytes=ram_bytes))
-    db.execute_ddl(
+    db.execute(
         "CREATE TABLE R (id int, fk int HIDDEN REFERENCES C, v int, "
         "h int HIDDEN)"
     )
-    db.execute_ddl(
+    db.execute(
         "CREATE TABLE C (id int, v int, h int HIDDEN, "
         "note char(64) HIDDEN)"
     )
@@ -27,7 +27,7 @@ SQL = ("SELECT R.id, C.note, C.h, C.v FROM R, C WHERE R.fk = C.id "
 
 def test_wide_hidden_values_projected():
     db = build_db()
-    result = db.query(SQL)
+    result = db.execute(SQL)
     _, expected = db.reference_query(SQL)
     assert sorted(result.rows) == sorted(expected)
     assert any("hidden note" in row[1] for row in result.rows)
@@ -38,8 +38,8 @@ def test_multi_pass_mjoin_under_tiny_ram():
     results must be identical to the ample-RAM run."""
     ample = build_db(ram_bytes=65536)
     tiny = build_db(ram_bytes=8192)
-    a = ample.query(SQL)
-    b = tiny.query(SQL)
+    a = ample.execute(SQL)
+    b = tiny.execute(SQL)
     assert sorted(a.rows) == sorted(b.rows)
     assert b.stats.ram_peak <= 8192
     # the tiny token pays more Project time (more passes over columns)
@@ -52,7 +52,7 @@ def test_hidden_only_projection_scans_image():
     the sequential-image-scan MJoin path."""
     db = build_db()
     sql = "SELECT R.id, C.h FROM R, C WHERE R.fk = C.id AND R.h = 0"
-    result = db.query(sql)
+    result = db.execute(sql)
     _, expected = db.reference_query(sql)
     assert sorted(result.rows) == sorted(expected)
 
@@ -64,7 +64,7 @@ def test_post_filter_false_positives_eliminated_without_projection():
     sql = ("SELECT R.id FROM R, C WHERE R.fk = C.id "
            "AND C.v < 5 AND R.h = 1")
     _, expected = db.reference_query(sql)
-    result = db.query(sql, vis_strategy="post", cross=False)
+    result = db.execute(sql, vis_strategy="post", cross=False)
     assert sorted(result.rows) == sorted(expected)
 
 
@@ -73,7 +73,7 @@ def test_nofilter_selection_applied_at_projection():
     sql = ("SELECT R.id, C.v FROM R, C WHERE R.fk = C.id "
            "AND C.v = 3 AND R.h = 2")
     _, expected = db.reference_query(sql)
-    result = db.query(sql, vis_strategy="nofilter")
+    result = db.execute(sql, vis_strategy="nofilter")
     assert sorted(result.rows) == sorted(expected)
 
 
@@ -82,23 +82,23 @@ def test_brute_force_matches_project_everywhere():
     for sql in (SQL,
                 "SELECT R.id, R.h FROM R WHERE R.v < 4 AND R.h >= 1",
                 "SELECT C.id, C.note FROM C WHERE C.v = 2"):
-        a = db.query(sql, projection="project")
-        b = db.query(sql, projection="brute-force")
-        c = db.query(sql, projection="project-nobf")
+        a = db.execute(sql, projection="project")
+        b = db.execute(sql, projection="brute-force")
+        c = db.execute(sql, projection="project-nobf")
         assert sorted(a.rows) == sorted(b.rows) == sorted(c.rows), sql
 
 
 def test_brute_force_random_access_costs_more():
     db = build_db(n_child=200, n_root=2000)
     sql = SQL.replace("R.h = 1", "R.h >= 0")  # big result
-    project = db.query(sql, projection="project").stats
-    brute = db.query(sql, projection="brute-force").stats
+    project = db.execute(sql, projection="project").stats
+    brute = db.execute(sql, projection="brute-force").stats
     assert brute.operator_s("Project") > project.operator_s("Project")
 
 
 def test_projection_preserves_duplicate_free_positions():
     """Each surviving QEPSJ position yields exactly one output row."""
     db = build_db()
-    result = db.query(SQL)
+    result = db.execute(SQL)
     ids = [row[0] for row in result.rows]
     assert len(ids) == len(set(ids))

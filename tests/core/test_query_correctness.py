@@ -10,7 +10,7 @@ ALL_STRATEGIES = ["pre", "post", "post-select", "nofilter", None]
 
 def check(db, sql, **kwargs):
     expected = sorted(db.reference_query(sql)[1])
-    result = db.query(sql, **kwargs)
+    result = db.execute(sql, **kwargs)
     assert sorted(result.rows) == expected
     assert db.token.ram.used == 0, "operator leaked secure RAM"
     return result
@@ -119,7 +119,7 @@ def test_duplicate_anchor_ids_never_returned(db):
 
 def test_rows_sorted_by_anchor_id(db):
     """QEPSJ delivers anchor IDs sorted; projection preserves order."""
-    result = db.query(query_q(0.1))
+    result = db.execute(query_q(0.1))
     anchor_ids = [row[0] for row in result.rows]
     assert anchor_ids == sorted(anchor_ids)
 
@@ -128,7 +128,7 @@ def test_aggregates_match_reference(db):
     sql = ("SELECT COUNT(*), MIN(T12.h1), MAX(T12.h1), SUM(T12.h1) "
            "FROM T12 WHERE T12.h2 = 3")
     names, expected = db.reference_query(sql)
-    result = db.query(sql)
+    result = db.execute(sql)
     assert result.rows == expected
     assert result.columns == names
 
@@ -137,12 +137,12 @@ def test_group_by_matches_reference(db):
     sql = ("SELECT T12.h1, COUNT(*) FROM T12 WHERE T12.h2 < 5 "
            "GROUP BY T12.h1")
     _, expected = db.reference_query(sql)
-    result = db.query(sql)
+    result = db.execute(sql)
     assert sorted(result.rows) == sorted(expected)
 
 
 def test_avg_aggregate(db):
     sql = "SELECT AVG(T2.h1) FROM T2 WHERE T2.v1 < 10"
     _, expected = db.reference_query(sql)
-    result = db.query(sql)
+    result = db.execute(sql)
     assert result.rows[0][0] == pytest.approx(expected[0][0])

@@ -18,11 +18,11 @@ def build_random_db(seed: int, n_leaf: int, n_mid: int, n_root: int
                     ) -> GhostDB:
     rng = random.Random(seed)
     db = GhostDB()
-    db.execute_ddl("CREATE TABLE R (id int, fk int HIDDEN REFERENCES M, "
+    db.execute("CREATE TABLE R (id int, fk int HIDDEN REFERENCES M, "
                    "v int, h int HIDDEN)")
-    db.execute_ddl("CREATE TABLE M (id int, fk int HIDDEN REFERENCES L, "
+    db.execute("CREATE TABLE M (id int, fk int HIDDEN REFERENCES L, "
                    "v int, h int HIDDEN)")
-    db.execute_ddl("CREATE TABLE L (id int, v int, h int HIDDEN)")
+    db.execute("CREATE TABLE L (id int, v int, h int HIDDEN)")
     db.load("L", [(rng.randrange(8), rng.randrange(5))
                   for _ in range(n_leaf)])
     db.load("M", [(rng.randrange(n_leaf), rng.randrange(8),
@@ -64,7 +64,7 @@ def test_property_random_queries_match_oracle(seed):
                                None])
         cross = rng.choice([True, False, None])
         mode = rng.choice(["project", "project-nobf", "brute-force"])
-        result = db.query(sql, vis_strategy=strategy, cross=cross,
+        result = db.execute(sql, vis_strategy=strategy, cross=cross,
                           projection=mode)
         assert sorted(result.rows) == sorted(expected), (
             sql, strategy, cross, mode
@@ -81,9 +81,9 @@ def test_property_tiny_ram_still_correct(seed):
 
     rng = random.Random(seed)
     db = GhostDB(config=TokenConfig(ram_bytes=8192))
-    db.execute_ddl("CREATE TABLE R (id int, fk int HIDDEN REFERENCES L, "
+    db.execute("CREATE TABLE R (id int, fk int HIDDEN REFERENCES L, "
                    "v int, h int HIDDEN)")
-    db.execute_ddl("CREATE TABLE L (id int, v int, h int HIDDEN)")
+    db.execute("CREATE TABLE L (id int, v int, h int HIDDEN)")
     db.load("L", [(rng.randrange(6), rng.randrange(4))
                   for _ in range(12)])
     db.load("R", [(rng.randrange(12), rng.randrange(6),
@@ -93,6 +93,6 @@ def test_property_tiny_ram_still_correct(seed):
            "AND R.v < 4 AND L.h >= 1")
     _, expected = db.reference_query(sql)
     for strategy in ("pre", "post", "nofilter"):
-        result = db.query(sql, vis_strategy=strategy)
+        result = db.execute(sql, vis_strategy=strategy)
         assert sorted(result.rows) == sorted(expected), strategy
         assert result.stats.ram_peak <= 8192

@@ -13,9 +13,9 @@ from repro.workloads.queries import query_q, query_q_with_hidden_projection
 
 def run_everything(db):
     for strategy in ("pre", "post", "post-select", "nofilter"):
-        db.query(query_q(0.1), vis_strategy=strategy)
-    db.query(query_q_with_hidden_projection(0.05))
-    db.query(query_q(0.05), projection="brute-force")
+        db.execute(query_q(0.1), vis_strategy=strategy)
+    db.execute(query_q_with_hidden_projection(0.05))
+    db.execute(query_q(0.05), projection="brute-force")
 
 
 def test_outbound_traffic_is_only_queries_and_vis_requests(db):
@@ -29,7 +29,7 @@ def test_outbound_traffic_is_only_queries_and_vis_requests(db):
 def test_outbound_volume_is_tiny(db):
     """Outbound = query/requests only: orders of magnitude below inbound."""
     db.token.reset_costs()
-    db.query(query_q(0.1))
+    db.execute(query_q(0.1))
     stats = db.token.channel.stats
     assert stats.bytes_to_untrusted < 1000
     assert stats.bytes_to_secure > stats.bytes_to_untrusted
@@ -54,7 +54,7 @@ def test_outbound_independent_of_hidden_data(tiny_db, db):
     sql = "SELECT T12.id FROM T12 WHERE T12.h2 = 1 AND T12.v1 < 500"
     for database in (tiny_db, db):
         database.token.channel.stats.outbound_log.clear()
-        database.query(sql, vis_strategy="pre", cross=False)
+        database.execute(sql, vis_strategy="pre", cross=False)
     log_a = [(m.kind, m.nbytes)
              for m in tiny_db.audit_outbound()]
     log_b = [(m.kind, m.nbytes) for m in db.audit_outbound()]
@@ -101,7 +101,7 @@ def test_vis_requests_mention_only_visible_columns(db):
     """Vis requests (unlike the public query text) must never carry
     hidden column names or values."""
     db.token.channel.stats.outbound_log.clear()
-    db.query(query_q_with_hidden_projection(0.1))
+    db.execute(query_q_with_hidden_projection(0.1))
     vis_requests = [m for m in db.audit_outbound()
                     if m.kind == "vis_request"]
     assert vis_requests

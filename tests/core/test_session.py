@@ -12,9 +12,9 @@ from repro.errors import BindError, GhostDBError
 
 def make_db():
     db = GhostDB()
-    db.execute_ddl("CREATE TABLE P (id int, fk int HIDDEN REFERENCES C, "
+    db.execute("CREATE TABLE P (id int, fk int HIDDEN REFERENCES C, "
                    "v int, h int HIDDEN)")
-    db.execute_ddl("CREATE TABLE C (id int, v int, h int HIDDEN)")
+    db.execute("CREATE TABLE C (id int, v int, h int HIDDEN)")
     db.load("C", [(i, i % 2) for i in range(10)])
     db.load("P", [(i % 10, i, i % 4) for i in range(50)])
     db.build()
@@ -83,7 +83,7 @@ def test_param_count_mismatch_raises():
 def test_unbound_placeholders_rejected_outside_prepare():
     db = make_db()
     with pytest.raises(BindError):
-        db.query(TEMPLATE)
+        db.execute(TEMPLATE)
     with pytest.raises(BindError):
         db.plan_query(TEMPLATE)
 
@@ -230,7 +230,7 @@ def test_rebuild_preserves_data_and_statements():
 def test_rebuild_with_restricted_indexes():
     db = make_db()
     db.rebuild(indexed_columns={"C": ("h",), "P": ()})
-    result = db.query("SELECT P.id FROM P, C WHERE P.fk = C.id "
+    result = db.execute("SELECT P.id FROM P, C WHERE P.fk = C.id "
                       "AND C.h = 1 AND P.v < 30")
     _, expected = db.reference_query(concrete(1, 30))
     assert sorted(result.rows) == sorted(expected)
@@ -377,9 +377,9 @@ def test_ram_peak_is_per_query_not_lifetime():
     report different peaks (the old code reported the token's lifetime
     peak for every query)."""
     db = make_db()
-    big = db.query("SELECT P.id, C.id FROM P, C WHERE P.fk = C.id "
+    big = db.execute("SELECT P.id, C.id FROM P, C WHERE P.fk = C.id "
                    "AND C.h = 1")
-    small = db.query("SELECT C.id FROM C WHERE C.h = 1")
+    small = db.execute("SELECT C.id FROM C WHERE C.h = 1")
     assert small.stats.ram_peak > 0
     assert small.stats.ram_peak < big.stats.ram_peak
 
@@ -387,6 +387,6 @@ def test_ram_peak_is_per_query_not_lifetime():
 def test_ram_peak_stable_across_repetitions():
     db = make_db()
     sql = "SELECT C.id FROM C WHERE C.h = 1"
-    first = db.query(sql).stats.ram_peak
-    second = db.query(sql).stats.ram_peak
+    first = db.execute(sql).stats.ram_peak
+    second = db.execute(sql).stats.ram_peak
     assert first == second

@@ -76,11 +76,11 @@ def test_rewrite_ddl_produces_loadable_schema():
     from repro import GhostDB
     db = GhostDB()
     for stmt in rewritten:
-        db.execute_ddl(stmt)
+        db.execute(stmt)
     db.load("Clients", [("acme", "north")])
     db.load("Orders", [(0, 42)])
     db.build()
-    result = db.query("SELECT Orders.id FROM Orders, Clients "
+    result = db.execute("SELECT Orders.id FROM Orders, Clients "
                       "WHERE Orders.cid = Clients.id "
                       "AND Clients.name = 'acme'")
     assert result.rows == [(0,)]

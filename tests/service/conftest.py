@@ -1,0 +1,23 @@
+"""Shared fixtures for the service-layer tests.
+
+The service multiplexes clients over one database, so unlike the core
+suites most tests here want a *fresh* database (writes would leak
+between tests through a module-scoped one); read-only tests share the
+module-scoped ``db``.  The server-booting helper lives in
+``harness.py`` so test modules can import it directly.
+"""
+
+import pytest
+
+from harness import build_db
+
+
+@pytest.fixture()
+def fresh_db():
+    return build_db()
+
+
+@pytest.fixture(scope="module")
+def db():
+    """Read-only tests may share one database per module."""
+    return build_db()

@@ -59,8 +59,8 @@ def test_synthetic_hidden_selectivity_exact(syn):
 def test_synthetic_determinism():
     a = build_synthetic(SyntheticConfig(scale=0.0005))
     b = build_synthetic(SyntheticConfig(scale=0.0005))
-    qa = a.query(query_q(0.1))
-    qb = b.query(query_q(0.1))
+    qa = a.execute(query_q(0.1))
+    qb = b.execute(query_q(0.1))
     assert qa.rows == qb.rows
     assert qa.stats.total_s == pytest.approx(qb.stats.total_s)
 
@@ -97,14 +97,14 @@ def test_medical_surname_selectivity(med):
 def test_query_templates_parse_and_run(syn):
     for sql in (query_q(0.1), query_q_with_hidden_projection(0.1),
                 query_q_projections(0.1, 3)):
-        result = syn.query(sql)
+        result = syn.execute(sql)
         _, expected = syn.reference_query(sql)
         assert sorted(result.rows) == sorted(expected)
 
 
 def test_medical_query_template(med):
     sql = medical_query_q(0.1)
-    result = med.query(sql)
+    result = med.execute(sql)
     _, expected = med.reference_query(sql)
     assert sorted(result.rows) == sorted(expected)
 
