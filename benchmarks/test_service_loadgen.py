@@ -36,6 +36,7 @@ def test_service_loadgen(benchmark, save_table, synthetic_db):
         "queued": report.admission["queued_total"],
         "max_queue": report.admission["max_queue_depth"],
         "errors": report.errors,
+        "error_types": report.error_types,
     }]
     save_table("service_loadgen", rows,
                "Service load generator: wall-clock throughput and "
@@ -50,8 +51,12 @@ def test_service_loadgen(benchmark, save_table, synthetic_db):
         "latency_p95_ms": report.latency_p95_ms,
         "admission": report.admission,
         "service": report.service,
+        "error_types": report.error_types,
     }, indent=2) + "\n")
 
+    # a single failed query fails the benchmark, and the per-type
+    # buckets say what broke instead of a bare count
+    assert report.error_types == {}
     assert report.errors == 0
     assert report.n_queries == N_CLIENTS * N_QUERIES
     assert report.qps > 0

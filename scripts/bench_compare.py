@@ -98,6 +98,20 @@ def main() -> int:
         print(f"{'service_loadgen q/s':30s} {base_qps:10.1f} "
               f"{fresh_qps:10.1f} {ratio:6.2f}x{flag}")
 
+    # cold start warns on slower restores (higher wall time is worse,
+    # like the latency benchmarks; diffed separately because the point
+    # lives in its own results block, not under "benchmarks")
+    fresh_restore = fresh_report.get("cold_start", {}).get("restore_s")
+    base_restore = base_report.get("cold_start", {}).get("restore_s")
+    if fresh_restore is not None and base_restore:
+        ratio = fresh_restore / base_restore
+        flag = ""
+        if ratio > 1.0 + opts.threshold:
+            flag = f"  REGRESSION (> +{opts.threshold:.0%})"
+            regressions.append("cold_start.restore_s")
+        print(f"{'cold_start restore_s':30s} {base_restore:10.3f} "
+              f"{fresh_restore:10.3f} {ratio:6.2f}x{flag}")
+
     if regressions:
         print(f"\nWARNING: {len(regressions)} benchmark(s) regressed "
               f"beyond {opts.threshold:.0%}: {', '.join(regressions)}")

@@ -24,7 +24,7 @@ import pathlib
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 TABLES = ("fig10_pre_vs_post", "fig14_throughput", "sort_topk",
-          "compaction_churn", "service_loadgen")
+          "compaction_churn", "service_loadgen", "cold_start")
 
 
 def main() -> None:
@@ -66,6 +66,10 @@ def main() -> None:
     loadgen = REPO / "results" / "service_loadgen.json"
     if loadgen.exists():
         report["service_loadgen"] = json.loads(loadgen.read_text())
+    # ... as does the cold-start benchmark (restore vs rebuild walls)
+    cold_start = REPO / "results" / "cold_start.json"
+    if cold_start.exists():
+        report["cold_start"] = json.loads(cold_start.read_text())
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}: {len(benchmarks)} benchmark(s), "
           f"{len(simulated)} simulated table(s)")

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""CI smoke: build -> snapshot -> restore -> identical fig10 answers.
+
+Builds a synthetic database, snapshots it to a durable token image,
+restores the image into a second database, and runs the Figure 10
+query mix twice on both sides (the first restored pass faults pages in
+lazily through the mmap backing, the second runs fully materialized).
+Exits non-zero when any restored answer differs from the live twin's
+(rows OR simulated costs, either pass) or when restoring was not
+dramatically faster than building -- the always-on proof that a
+"millisecond restart" really restarts the same database.
+
+Usage::
+
+    PYTHONPATH=src python scripts/restart_smoke.py [--scale 0.002]
+        [--max-restore-fraction 0.10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+from repro.core.ghostdb import GhostDB
+from repro.workloads.queries import query_q
+from repro.workloads.synthetic import SyntheticConfig, build_synthetic
+
+SELECTIVITIES = (0.001, 0.01, 0.1)
+
+
+def answer_mix(db):
+    """(rows, simulated cost) of the fig10 mix, per selectivity."""
+    out = {}
+    for sv in SELECTIVITIES:
+        result = db.execute(query_q(sv))
+        out[sv] = (sorted(result.rows), result.stats.total_s)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.002)
+    parser.add_argument("--max-restore-fraction", type=float, default=0.10,
+                        help="restore wall time must stay below this "
+                             "fraction of the build wall time")
+    opts = parser.parse_args()
+
+    t0 = time.perf_counter()
+    db = build_synthetic(SyntheticConfig(scale=opts.scale,
+                                         full_indexing=True))
+    build_s = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "smoke.img")
+        t0 = time.perf_counter()
+        summary = db.snapshot(path)
+        snapshot_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        restored = GhostDB.restore(path, verify=True)
+        restore_s = time.perf_counter() - t0
+
+    print(f"build    : {build_s:.3f}s")
+    print(f"snapshot : {snapshot_s:.3f}s "
+          f"({summary['bytes']} bytes, {summary['pages']} pages)")
+    print(f"restore  : {restore_s:.3f}s "
+          f"({restore_s / build_s:.1%} of build, verify=True)")
+
+    failures = []
+    # two identical passes on each side: the first faults pages in
+    # through the mmap backing on the restored side, the second runs
+    # fully materialized -- both must match the live twin bit-for-bit
+    live = (answer_mix(db), answer_mix(db))
+    cold_then_warm = (answer_mix(restored), answer_mix(restored))
+    for which, (a, b) in zip(("cold", "warm"),
+                             zip(live, cold_then_warm)):
+        for sv in SELECTIVITIES:
+            if b[sv][0] != a[sv][0]:
+                failures.append(
+                    f"{which} rows differ after restore at sv={sv}")
+            if b[sv][1] != a[sv][1]:
+                failures.append(
+                    f"{which} simulated cost differs after restore at "
+                    f"sv={sv}: {b[sv][1]} != {a[sv][1]}")
+    if restore_s > opts.max_restore_fraction * build_s:
+        failures.append(
+            f"restore took {restore_s:.3f}s, over "
+            f"{opts.max_restore_fraction:.0%} of the {build_s:.3f}s build")
+
+    if failures:
+        print("RESTART SMOKE FAILED: " + "; ".join(failures))
+        return 1
+    print("restart smoke OK: restored database answers bit-identically")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -654,6 +654,40 @@ class GhostDB:
         }
 
     # ------------------------------------------------------------------
+    # durable token image
+    # ------------------------------------------------------------------
+    def snapshot(self, path: str) -> Dict[str, int]:
+        """Write the database to a durable image file at ``path``.
+
+        One versioned, checksummed file captures the whole token state
+        -- FTL mapping, live flash pages, catalog, delta logs,
+        statistics sketches, cost ledger and audit log -- plus the
+        Untrusted visible image.  :meth:`restore` maps it back in
+        milliseconds with zero replay.  Written atomically (temp file +
+        rename); refuses to run before :meth:`build` or while an
+        incremental compaction job is in flight
+        (:class:`~repro.errors.PersistError`).  Returns a size summary.
+        """
+        from repro.persist.image import snapshot_db
+        return snapshot_db(self, path)
+
+    @classmethod
+    def restore(cls, path: str, verify: bool = False) -> "GhostDB":
+        """Load a database from a :meth:`snapshot` image.
+
+        Restore cost is O(metadata): page payloads stay in the
+        ``mmap``-ed image until first read.  The restored database is
+        bit-identical to the snapshotted one -- same query results,
+        simulated costs, audit log, statistics and future GC behaviour.
+        ``verify=True`` additionally checks the page-blob checksum
+        (touches the whole file).  Raises
+        :class:`~repro.errors.ImageError` on torn, truncated or
+        corrupt images.
+        """
+        from repro.persist.image import restore_db
+        return restore_db(path, verify=verify)
+
+    # ------------------------------------------------------------------
     # oracle, audit, reports
     # ------------------------------------------------------------------
     def reference_query(self, sql: str) -> Tuple[List[str], List[Tuple]]:

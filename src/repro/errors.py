@@ -91,6 +91,16 @@ class AdmissionError(GhostDBError):
     """A query can never be admitted (its claim exceeds the budget)."""
 
 
+class PersistError(GhostDBError):
+    """Snapshot or restore of the durable token image failed or was
+    refused (e.g. a snapshot requested mid-compaction)."""
+
+
+class ImageError(PersistError):
+    """The durable image file is unreadable: wrong magic/version, torn
+    or truncated write, or a checksum mismatch."""
+
+
 class StorageError(GhostDBError):
     """Record/heap level failure (bad row width, unknown file, ...)."""
 

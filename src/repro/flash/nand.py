@@ -30,6 +30,24 @@ class NandFlash:
         self._state = bytearray(self.n_pages)  # ERASED / PROGRAMMED
         self._data: dict[int, bytes] = {}
         self.erase_counts = [0] * params.n_blocks
+        # lazy backing store (durable-image restore): ppn -> (offset,
+        # length) into _backing_buf; payloads materialize into _data on
+        # first read, so restore never touches cold pages
+        self._backing: dict[int, tuple[int, int]] = {}
+        self._backing_buf = None
+
+    def attach_backing(self, buf, mapping: dict[int, tuple[int, int]]) -> None:
+        """Serve unread page payloads lazily out of ``buf``.
+
+        ``mapping[ppn] = (offset, length)`` locates each backed page's
+        payload inside ``buf`` (typically a ``memoryview`` over an
+        ``mmap`` of the durable image).  A backed page behaves exactly
+        like a programmed one; its bytes are only copied into the
+        in-memory array on first :meth:`read_page`, and an
+        :meth:`erase_block` simply drops the backing entries.
+        """
+        self._backing_buf = buf
+        self._backing = dict(mapping)
 
     # ------------------------------------------------------------------
     # address helpers
@@ -71,13 +89,23 @@ class NandFlash:
     def read_page(self, ppn: int) -> bytes:
         """Return the content of one page (empty pages read as b'')."""
         self._check_ppn(ppn)
-        return self._data.get(ppn, b"")
+        data = self._data.get(ppn)
+        if data is None and self._backing:
+            entry = self._backing.pop(ppn, None)
+            if entry is not None:
+                offset, length = entry
+                data = bytes(self._backing_buf[offset:offset + length])
+                self._data[ppn] = data
+        return data if data is not None else b""
 
     def erase_block(self, block: int) -> None:
         """Erase every page of ``block`` and bump its wear counter."""
         if not 0 <= block < self.params.n_blocks:
             raise BadAddressError(f"block {block} out of range")
+        backing = self._backing
         for ppn in self.pages_of_block(block):
             self._state[ppn] = ERASED
             self._data.pop(ppn, None)
+            if backing:
+                backing.pop(ppn, None)
         self.erase_counts[block] += 1

@@ -139,6 +139,17 @@ class FlashFile:
         """
         self._check_open()
         self._check_index(index)
+        fill = self._page_fill[index]
+        if offset < 0 or (offset > 0 and offset >= fill):
+            raise BadAddressError(
+                f"read offset {offset} out of range for page {index} of "
+                f"file {self.name!r} ({fill} bytes filled)"
+            )
+        if nbytes is not None and (nbytes < 0 or offset + nbytes > fill):
+            raise BadAddressError(
+                f"read of {nbytes} bytes at offset {offset} overruns "
+                f"page {index} of file {self.name!r} ({fill} bytes filled)"
+            )
         lpn = self._lpns[index]
         cache = self._store.page_cache
         full = cache.get(lpn)

@@ -1,0 +1,16 @@
+"""Durable token image: snapshot/restore of a built GhostDB.
+
+``snapshot_db`` serializes the whole token-resident state -- FTL page
+mapping, NAND payloads, the flash file directory, the secure catalog
+(images, SKTs, climbing indexes, delta logs, tombstones, generations),
+the statistics sketches and the cost ledger -- into one versioned,
+checksummed image file.  ``restore_db`` maps it back via ``mmap`` with
+zero replay; page payloads are materialized lazily into the flash read
+path, so restoring is milliseconds where a build is seconds.
+"""
+
+from repro.persist.image import (IMAGE_MAGIC, IMAGE_VERSION, image_info,
+                                 restore_db, snapshot_db)
+
+__all__ = ["IMAGE_MAGIC", "IMAGE_VERSION", "image_info", "restore_db",
+           "snapshot_db"]

@@ -127,6 +127,10 @@ class GhostClient:
         return ServiceResult.from_response(self._call(
             {"op": "compact", "table": table, "max_steps": max_steps}))
 
+    def snapshot(self, path: str) -> Dict[str, Any]:
+        """Ask the server to write a durable token image to ``path``."""
+        return self._call({"op": "snapshot", "path": path})
+
     def server_stats(self) -> Dict[str, Any]:
         """The server's counter snapshot (admission, service, cache)."""
         return self._call({"op": "stats"})
@@ -227,6 +231,10 @@ class AsyncGhostClient:
         """Ask the server to (incrementally) compact ``table``."""
         return ServiceResult.from_response(await self._call(
             {"op": "compact", "table": table, "max_steps": max_steps}))
+
+    async def snapshot(self, path: str) -> Dict[str, Any]:
+        """Ask the server to write a durable token image to ``path``."""
+        return await self._call({"op": "snapshot", "path": path})
 
     async def server_stats(self) -> Dict[str, Any]:
         """The server's counter snapshot (admission, service, cache)."""

@@ -65,9 +65,20 @@ class LoadgenReport:
     latency_max_ms: float
     admission: Dict[str, Any] = field(default_factory=dict)
     service: Dict[str, Any] = field(default_factory=dict)
+    #: failure counts bucketed by error type (server-side ``error_type``
+    #: for ServiceError, exception class name otherwise) -- a failing
+    #: run must say *what* failed, not just how often
+    error_types: Dict[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:
         """One-line summary for logs and benchmark output."""
+        breakdown = ""
+        if self.error_types:
+            parts = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.error_types.items())
+            )
+            breakdown = f" ({parts})"
         return (
             f"loadgen: {self.n_clients} clients, "
             f"{self.n_queries} queries in {self.wall_s:.2f}s = "
@@ -76,7 +87,7 @@ class LoadgenReport:
             f"{self.latency_p95_ms:.1f}ms; "
             f"queued {self.admission.get('queued_total', 0)}, "
             f"max queue depth {self.admission.get('max_queue_depth', 0)}, "
-            f"errors {self.errors}"
+            f"errors {self.errors}{breakdown}"
         )
 
 
@@ -88,10 +99,16 @@ def _percentile(sorted_values: List[float], q: float) -> float:
     return sorted_values[idx]
 
 
+def _error_bucket(exc: Exception) -> str:
+    """Bucket key for one failure: server error_type, else class name."""
+    error_type = getattr(exc, "error_type", None)
+    return error_type if error_type else type(exc).__name__
+
+
 async def _client_run(host: str, port: int, templates: Sequence[str],
                       n_queries: int, rng: random.Random,
                       latencies_ms: List[float],
-                      errors: List[int]) -> None:
+                      error_types: Dict[str, int]) -> None:
     async with await AsyncGhostClient.connect(host, port) as client:
         stmts = [await client.prepare(t) for t in templates]
         for _ in range(n_queries):
@@ -101,8 +118,9 @@ async def _client_run(host: str, port: int, templates: Sequence[str],
             t0 = time.perf_counter()
             try:
                 await client.exec_stmt(stmt, params)
-            except Exception:   # noqa: BLE001 - counted, not fatal
-                errors[0] += 1
+            except Exception as exc:   # noqa: BLE001 - counted, not fatal
+                bucket = _error_bucket(exc)
+                error_types[bucket] = error_types.get(bucket, 0) + 1
             else:
                 latencies_ms.append(
                     (time.perf_counter() - t0) * 1e3)
@@ -112,11 +130,11 @@ async def _run(db: GhostDB, n_clients: int, n_queries: int, seed: int,
                templates: Sequence[str]) -> LoadgenReport:
     async with GhostServer(db) as server:
         latencies_ms: List[float] = []
-        errors = [0]
+        error_types: Dict[str, int] = {}
         t0 = time.perf_counter()
         await asyncio.gather(*[
             _client_run(server.host, server.port, templates, n_queries,
-                        random.Random(seed + i), latencies_ms, errors)
+                        random.Random(seed + i), latencies_ms, error_types)
             for i in range(n_clients)
         ])
         wall_s = time.perf_counter() - t0
@@ -133,7 +151,7 @@ async def _run(db: GhostDB, n_clients: int, n_queries: int, seed: int,
     return LoadgenReport(
         n_clients=n_clients,
         n_queries=done,
-        errors=errors[0],
+        errors=sum(error_types.values()),
         wall_s=wall_s,
         qps=done / wall_s if wall_s > 0 else 0.0,
         latency_p50_ms=_percentile(latencies_ms, 0.50),
@@ -141,6 +159,7 @@ async def _run(db: GhostDB, n_clients: int, n_queries: int, seed: int,
         latency_max_ms=latencies_ms[-1] if latencies_ms else 0.0,
         admission=admission,
         service=service,
+        error_types=dict(sorted(error_types.items())),
     )
 
 

@@ -35,6 +35,7 @@ event loop responsive while admission tickets genuinely overlap.
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import threading
 from typing import Any, Dict, Optional, Tuple
@@ -276,6 +277,8 @@ class GhostServer:
             return await self._op_compact(request)
         if op == "execute":
             return await self._op_execute(conn, request)
+        if op == "snapshot":
+            return await self._op_snapshot(request)
         raise GhostDBError(f"unknown op {op!r}")
 
     async def _op_prepare(self, conn: _Connection, request: dict) -> dict:
@@ -320,6 +323,28 @@ class GhostServer:
                     "pages_rewritten": progress.pages_rewritten}
 
         return await self._run_write(run)
+
+    async def _op_snapshot(self, request: dict) -> dict:
+        path = request.get("path")
+        if not path:
+            raise GhostDBError("snapshot requires a 'path'")
+        summary = await self.snapshot(path)
+        return {"ok": True, "kind": "snapshot", **summary}
+
+    async def snapshot(self, path: str) -> Dict[str, Any]:
+        """Write a durable image of the served database to ``path``.
+
+        Holds the writer lane while the image is taken so no DML or
+        compaction step can interleave with the serialization; readers
+        keep flowing (they never mutate token state).  Inherits
+        :meth:`GhostDB.snapshot`'s refusal to snapshot while a bounded
+        compaction job is mid-flight
+        (:class:`~repro.errors.PersistError`), which the wire layer
+        surfaces to the client like any other statement error.
+        """
+        async with self._writer_lane:
+            return await asyncio.to_thread(
+                self._locked, self.db.snapshot, path)
 
     # ------------------------------------------------------------------
     # the reader path: pin -> plan -> admit -> execute under the pin
@@ -429,3 +454,39 @@ class GhostServer:
                 for t, g in self.db.table_generations.items()
             },
         }
+
+
+# ----------------------------------------------------------------------
+# command line: restore a durable image and serve it
+# ----------------------------------------------------------------------
+async def _serve_image(db: GhostDB, host: str, port: int) -> None:
+    server = GhostServer(db, host=host, port=port)
+    await server.start()
+    print(f"ghostdb: serving on {server.host}:{server.port}")
+    await server.serve_forever()
+
+
+def main(argv: Optional[list] = None) -> None:
+    """``python -m repro.service.server --image db.img`` -- restore a
+    durable token image (milliseconds, no replay) and serve it."""
+    parser = argparse.ArgumentParser(
+        prog="repro.service.server",
+        description="Serve a GhostDB durable token image over TCP.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (default: ephemeral)")
+    parser.add_argument("--image", required=True,
+                        help="durable image file written by GhostDB.snapshot")
+    parser.add_argument("--verify", action="store_true",
+                        help="also verify the payload blob checksum on restore")
+    args = parser.parse_args(argv)
+    db = GhostDB.restore(args.image, verify=args.verify)
+    try:
+        asyncio.run(_serve_image(db, args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()

@@ -74,6 +74,55 @@ def test_out_of_range_page(store):
         f.write_page(5, b"")
 
 
+def test_read_offset_past_fill_raises(store):
+    """Regression: an offset at/past the page fill used to silently
+    slice to b"" and charge a zero-byte read instead of raising."""
+    f = store.create("t")
+    f.append_page(b"12345")
+    with pytest.raises(BadAddressError):
+        f.read_page(0, offset=5)          # exactly at the fill
+    with pytest.raises(BadAddressError):
+        f.read_page(0, offset=100)        # way past it
+    with pytest.raises(BadAddressError):
+        f.read_page(0, offset=-1)
+
+
+def test_read_nbytes_overrun_raises(store):
+    """Regression: nbytes overshooting the fill used to return a short
+    payload and undercharge the simulated read."""
+    f = store.create("t")
+    f.append_page(b"12345")
+    with pytest.raises(BadAddressError):
+        f.read_page(0, nbytes=6)
+    with pytest.raises(BadAddressError):
+        f.read_page(0, offset=3, nbytes=3)
+    with pytest.raises(BadAddressError):
+        f.read_page(0, nbytes=-1)
+
+
+def test_read_boundary_slices_still_legal(store):
+    f = store.create("t")
+    f.append_page(b"12345")
+    assert f.read_page(0, offset=0, nbytes=5) == b"12345"
+    assert f.read_page(0, offset=4, nbytes=1) == b"5"
+    assert f.read_page(0, offset=2) == b"345"
+    assert f.read_page(0, nbytes=0) == b""
+    # an empty (zero-fill) page may still be read whole at offset 0
+    g = store.create("empty")
+    g.append_page(b"")
+    assert g.read_page(0) == b""
+    assert g.read_page(0, offset=0, nbytes=0) == b""
+
+
+def test_out_of_range_read_charges_nothing(store):
+    f = store.create("t")
+    f.append_page(b"12345")
+    before = store.ftl.ledger.counters["pages_read"]
+    with pytest.raises(BadAddressError):
+        f.read_page(0, offset=9)
+    assert store.ftl.ledger.counters["pages_read"] == before
+
+
 def test_usage_accounting(store):
     f = store.create("a")
     g = store.create("b")

@@ -1,0 +1,31 @@
+"""Loadgen error accounting: failures are counted AND bucketed by kind.
+
+Regression: the load generator used to swallow every client-side
+exception into one opaque counter, so a run whose statements all
+failed still "passed" any eyeball check of its summary.  Failures must
+now surface per error type in the report and its one-line description.
+"""
+
+from repro.service.loadgen import run_loadgen
+
+#: one placeholder, but the generator always sends two params -- every
+#: execution fails with a parameter-count engine error
+BAD_TEMPLATE = "SELECT T0.id FROM T0 WHERE T0.v1 < ?"
+
+
+def test_loadgen_buckets_errors_by_type(fresh_db):
+    report = run_loadgen(fresh_db, n_clients=2, n_queries=3,
+                         templates=(BAD_TEMPLATE,))
+    assert report.errors == 6
+    assert report.n_queries == 0            # nothing actually completed
+    assert sum(report.error_types.values()) == report.errors
+    (kind,) = report.error_types            # one failure mode here
+    assert kind and kind != "Exception"     # a *named* engine bucket
+    assert f"{kind}=6" in report.describe()
+
+
+def test_loadgen_clean_run_has_no_error_buckets(fresh_db):
+    report = run_loadgen(fresh_db, n_clients=2, n_queries=2)
+    assert report.errors == 0
+    assert report.error_types == {}
+    assert "(" not in report.describe().split("errors")[1]

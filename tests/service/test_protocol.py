@@ -40,6 +40,34 @@ def test_oversized_announcement_rejected():
     asyncio.run(run())
 
 
+def test_oversized_prefix_rejected_before_body_async():
+    """A hostile 4-byte length prefix must be rejected *before* any
+    body bytes are awaited: only the prefix is fed (no EOF), so a codec
+    that tried to read the announced body first would hang here."""
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(struct.pack("!I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError):
+            await asyncio.wait_for(read_frame(reader), timeout=5)
+
+    asyncio.run(run())
+
+
+def test_oversized_prefix_rejected_before_body_sync():
+    """Sync codec twin: the peer announces 2**32-1 bytes and sends
+    nothing else; read_frame_sync must raise on the prefix alone
+    instead of blocking on the (never-arriving) body."""
+    a, b = socket.socketpair()
+    try:
+        b.settimeout(5)                 # a hang fails fast, not forever
+        a.sendall(struct.pack("!I", 0xFFFFFFFF))
+        with pytest.raises(FrameError):
+            read_frame_sync(b)
+    finally:
+        a.close()
+        b.close()
+
+
 def test_async_clean_eof_and_truncation():
     async def run():
         reader = asyncio.StreamReader()
