@@ -112,6 +112,28 @@ def main() -> int:
         print(f"{'cold_start restore_s':30s} {base_restore:10.3f} "
               f"{fresh_restore:10.3f} {ratio:6.2f}x{flag}")
 
+    # shard scaling: simulated q/s per fleet size; like the service
+    # loadgen, *lower* throughput is the regression, diffed per point
+    fresh_points = {
+        p["shards"]: p["sim_qps"]
+        for p in fresh_report.get("shard_scaling", {}).get("points", [])
+    }
+    base_points = {
+        p["shards"]: p["sim_qps"]
+        for p in base_report.get("shard_scaling", {}).get("points", [])
+    }
+    for shards in sorted(set(fresh_points) & set(base_points)):
+        if not base_points[shards]:
+            continue
+        ratio = fresh_points[shards] / base_points[shards]
+        flag = ""
+        if ratio < 1.0 - opts.threshold:
+            flag = f"  REGRESSION (< -{opts.threshold:.0%})"
+            regressions.append(f"shard_scaling[{shards}].sim_qps")
+        print(f"{f'shard_scaling q/s @{shards}':30s} "
+              f"{base_points[shards]:10.1f} "
+              f"{fresh_points[shards]:10.1f} {ratio:6.2f}x{flag}")
+
     if regressions:
         print(f"\nWARNING: {len(regressions)} benchmark(s) regressed "
               f"beyond {opts.threshold:.0%}: {', '.join(regressions)}")

@@ -24,7 +24,8 @@ import pathlib
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 TABLES = ("fig10_pre_vs_post", "fig14_throughput", "sort_topk",
-          "compaction_churn", "service_loadgen", "cold_start")
+          "compaction_churn", "service_loadgen", "cold_start",
+          "shard_scaling")
 
 
 def main() -> None:
@@ -70,6 +71,10 @@ def main() -> None:
     cold_start = REPO / "results" / "cold_start.json"
     if cold_start.exists():
         report["cold_start"] = json.loads(cold_start.read_text())
+    # ... and the shard-scaling benchmark (simulated q/s per fleet size)
+    shard_scaling = REPO / "results" / "shard_scaling.json"
+    if shard_scaling.exists():
+        report["shard_scaling"] = json.loads(shard_scaling.read_text())
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}: {len(benchmarks)} benchmark(s), "
           f"{len(simulated)} simulated table(s)")

@@ -11,7 +11,7 @@ service layer boots and serves under concurrency.
 Usage::
 
     PYTHONPATH=src python scripts/service_smoke.py [--clients 10]
-        [--queries 10] [--scale 0.002]
+        [--queries 10] [--scale 0.002] [--shards 1]
 """
 
 from __future__ import annotations
@@ -29,10 +29,13 @@ def main() -> int:
     parser.add_argument("--queries", type=int, default=10,
                         help="queries per client")
     parser.add_argument("--scale", type=float, default=0.002)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="serve a hash-partitioned fleet of N tokens")
     opts = parser.parse_args()
 
     db = build_synthetic(SyntheticConfig(scale=opts.scale,
-                                         full_indexing=True))
+                                         full_indexing=True),
+                         shards=opts.shards)
     report = run_loadgen(db, n_clients=opts.clients,
                          n_queries=opts.queries)
     print(report.describe())

@@ -68,25 +68,8 @@ class DmlExecutor:
     # ------------------------------------------------------------------
     def insert(self, bound: BoundInsert) -> int:
         """Append ``bound.rows``; returns the number of rows inserted."""
-        if bound.has_parameters:
-            raise BindError(
-                f"statement has {bound.param_count} unbound ? "
-                f"placeholder(s); pass params to execute()"
-            )
-        table = self.schema.table(bound.table)
-        hidden = [c for c in table.hidden_columns if not c.is_foreign_key]
-        hid_positions = [table.column_position(c.name) for c in hidden]
-        vis_positions = [table.column_position(c.name)
-                         for c in table.visible_columns]
-        fk_positions = [(c, table.column_position(c.name))
-                        for c in table.foreign_keys]
-        # validate *before* any side effect: fk targets must exist and
-        # be live, hidden values must pack into the image codec
-        self._check_foreign_keys(bound, fk_positions)
-        if hidden:
-            codec = RowCodec([c.type for c in hidden])
-            for row in bound.rows:
-                codec.pack(tuple(row[p] for p in hid_positions))
+        table, hidden, hid_positions, vis_positions, fk_positions = \
+            self.validate_insert(bound)
 
         with self.token.label(DML_LABEL):
             # the redacted statement is the only text that leaves
@@ -114,6 +97,36 @@ class DmlExecutor:
         self.catalog.record_inserted_rows(bound.table, bound.rows)
         self.catalog.bump_generation(bound.table)
         return len(bound.rows)
+
+    def validate_insert(self, bound: BoundInsert):
+        """All side-effect-free INSERT checks, before anything mutates.
+
+        Validates *before* any side effect: fk targets must exist and
+        be live, hidden values must pack into the image codec.  Split
+        out of :meth:`insert` so a multi-shard fleet can pre-validate
+        every shard's slice of a statement before applying any of them
+        (the all-or-nothing contract a single token gets for free).
+        Returns the resolved column-position tuple :meth:`insert`
+        continues with.
+        """
+        if bound.has_parameters:
+            raise BindError(
+                f"statement has {bound.param_count} unbound ? "
+                f"placeholder(s); pass params to execute()"
+            )
+        table = self.schema.table(bound.table)
+        hidden = [c for c in table.hidden_columns if not c.is_foreign_key]
+        hid_positions = [table.column_position(c.name) for c in hidden]
+        vis_positions = [table.column_position(c.name)
+                         for c in table.visible_columns]
+        fk_positions = [(c, table.column_position(c.name))
+                        for c in table.foreign_keys]
+        self._check_foreign_keys(bound, fk_positions)
+        if hidden:
+            codec = RowCodec([c.type for c in hidden])
+            for row in bound.rows:
+                codec.pack(tuple(row[p] for p in hid_positions))
+        return table, hidden, hid_positions, vis_positions, fk_positions
 
     def _check_foreign_keys(self, bound: BoundInsert,
                             fk_positions) -> None:
@@ -185,6 +198,17 @@ class DmlExecutor:
                 f"statement has {bound.param_count} unbound ? "
                 f"placeholder(s); pass params to execute()"
             )
+        ids = self.delete_candidates(bound)
+        self.check_restrict(bound.table, ids)
+        return self.apply_delete(bound, ids)
+
+    # The three DELETE phases are public on their own so a sharded
+    # fleet can interleave them across tokens: collect candidates on
+    # every shard, RESTRICT-check them all, and only then tombstone
+    # anywhere -- preserving the all-or-nothing behaviour a single
+    # token's sequential path gets for free.
+    def delete_candidates(self, bound: BoundDelete) -> List[int]:
+        """Announce the statement and evaluate its predicates."""
         with self.token.label(DML_LABEL):
             # a DELETE's predicates are query text: public by the same
             # argument as SELECT predicates
@@ -192,9 +216,16 @@ class DmlExecutor:
                 max(1, len(bound.sql)), kind="query",
                 description=bound.sql[:120],
             )
-        ids = self._matching_ids(bound)
+        return self._matching_ids(bound)
+
+    def check_restrict(self, table: str, ids: List[int]) -> None:
+        """RESTRICT scan (charged), raising before anything mutates."""
         with self.token.label(DML_LABEL):
-            self._check_restrict(bound.table, ids)
+            self._check_restrict(table, ids)
+
+    def apply_delete(self, bound: BoundDelete, ids: List[int]) -> int:
+        """Tombstone ``ids`` and bump the table's generations."""
+        with self.token.label(DML_LABEL):
             n = self.catalog.mark_deleted(bound.table, ids)
         self.catalog.record_deleted_rows(bound.table, ids)
         self.catalog.bump_generation(bound.table)

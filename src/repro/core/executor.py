@@ -16,7 +16,7 @@ figures (15/16) rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.execmode import scalar_exec
 from repro.core.merge import CHUNK, MergeOperator
@@ -86,6 +86,47 @@ class QueryStats:
             total.ram_peak = max(total.ram_peak, part.ram_peak)
             total.result_rows += part.result_rows
         return total
+
+    @classmethod
+    def parallel(cls, parts: Iterable["QueryStats"],
+                 merge_s: float = 0.0,
+                 result_rows: Optional[int] = None) -> "QueryStats":
+        """Combine per-shard reports that ran on *independent* tokens.
+
+        Unlike :meth:`aggregate` (sequential batches on one token),
+        the shards of a fleet execute concurrently on disjoint
+        hardware, so the simulated makespan is the *slowest* shard
+        plus the coordinator's ``merge_s``, while bytes and counters
+        still sum (they measure work, not time).  ``by_operator``
+        sums too -- it reports where fleet-wide work went, and
+        therefore may exceed ``total_s``.  ``ram_peak`` is the
+        largest single-token peak: shard RAM budgets are not fungible.
+        """
+        parts = list(parts)
+        by_op: Dict[str, float] = {}
+        counters: Dict[str, int] = {}
+        combined = cls(
+            total_s=merge_s, by_operator=by_op, counters=counters,
+            bytes_to_secure=0, bytes_to_untrusted=0, ram_peak=0,
+            result_rows=0,
+        )
+        makespan = 0.0
+        for part in parts:
+            makespan = max(makespan, part.total_s)
+            for label, seconds in part.by_operator.items():
+                by_op[label] = by_op.get(label, 0.0) + seconds
+            for key, value in part.counters.items():
+                counters[key] = counters.get(key, 0) + value
+            combined.bytes_to_secure += part.bytes_to_secure
+            combined.bytes_to_untrusted += part.bytes_to_untrusted
+            combined.ram_peak = max(combined.ram_peak, part.ram_peak)
+            combined.result_rows += part.result_rows
+        combined.total_s += makespan
+        if merge_s:
+            by_op["Gather"] = by_op.get("Gather", 0.0) + merge_s
+        if result_rows is not None:
+            combined.result_rows = result_rows
+        return combined
 
 
 @dataclass

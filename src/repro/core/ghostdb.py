@@ -86,10 +86,29 @@ from repro.untrusted.server import VisServer
 
 
 class GhostDB:
-    """A GhostDB instance: one secure token plus one Untrusted engine."""
+    """A GhostDB instance: one secure token plus one Untrusted engine.
+
+    ``GhostDB(shards=N)`` with ``N > 1`` returns a
+    :class:`~repro.shard.fleet.ShardedGhostDB` instead: N independent
+    tokens behind the same statement API, with SELECTs scattered and
+    gathered across them (see :mod:`repro.shard`).
+    """
+
+    def __new__(cls, config: Optional[TokenConfig] = None,
+                indexed_columns: Optional[Dict[str, Sequence[str]]] = None,
+                shards: Optional[int] = None):
+        if cls is GhostDB and shards is not None and shards > 1:
+            from repro.shard.fleet import ShardedGhostDB
+            # not a GhostDB subclass, so __init__ below is skipped
+            return ShardedGhostDB(shards, config=config,
+                                  indexed_columns=indexed_columns)
+        return super().__new__(cls)
 
     def __init__(self, config: Optional[TokenConfig] = None,
-                 indexed_columns: Optional[Dict[str, Sequence[str]]] = None):
+                 indexed_columns: Optional[Dict[str, Sequence[str]]] = None,
+                 shards: Optional[int] = None):
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1")
         self.token = SecureToken(config)
         self._ddl_tables: List[Table] = []
         self._indexed_columns = indexed_columns
@@ -382,6 +401,56 @@ class GhostDB:
         # the per-query attribution window ensures this is the peak of
         # *this* query's allocations, even when other statements
         # interleave on the shared token (service admission control)
+        stats.ram_peak = window.peak
+        return QueryResult(columns=names, rows=rows, stats=stats, plan=plan)
+
+    def execute_fragment(self, plan: QueryPlan, *, announce: bool = True,
+                         vis_seed: Optional[Dict] = None) -> QueryResult:
+        """Run one *shard fragment* of a scattered query.
+
+        Like :meth:`execute_plan` but without the global finishing
+        stages -- no aggregation, no DISTINCT dedup, no internal-column
+        stripping: those are whole-result operations the gather side
+        applies once, over the merged stream.  The fragment's ordering
+        step *does* run when the plan carries one (a scatter-rewritten
+        :class:`~repro.core.plan.OrderPlan`: per-shard pre-sort /
+        top-(offset+limit), charged to this token's RAM and flash like
+        any sort).  Rows keep the full projection list -- including the
+        anchor-id tail the gather merges by -- and the cost window is
+        accounted identically to a standalone query.
+        """
+        self._require_built()
+        before = self.token.ledger.snapshot()
+        ch = self.token.channel.stats
+        in_before, out_before = ch.bytes_to_secure, ch.bytes_to_untrusted
+        with self.token.ram.query_window() as window:
+            if announce:
+                # each shard's channel carries its own audited copy of
+                # the (public) query text: the no-leak invariant stays
+                # checkable per channel
+                with self.token.label("Vis"):
+                    self.token.channel.to_untrusted(
+                        max(1, len(plan.bound.sql)), kind="query",
+                        description=plan.bound.sql[:80],
+                    )
+            ctx = ExecContext(self.token, self.catalog, self._vis_server,
+                              plan.bound)
+            if vis_seed:
+                for (table, columns), result in vis_seed.items():
+                    ctx.seed_vis(table, result, columns)
+            sj = QepSjExecutor(ctx).execute(plan)
+            try:
+                names, rows = ProjectionExecutor(ctx).execute(
+                    sj, plan.projection_mode
+                )
+            finally:
+                sj.free()
+            if plan.order is not None:
+                rows = OrderByExecutor(ctx, plan.order).execute(rows)
+        after = self.token.ledger.snapshot()
+        stats = self._stats_between(before, after, rows)
+        stats.bytes_to_secure = ch.bytes_to_secure - in_before
+        stats.bytes_to_untrusted = ch.bytes_to_untrusted - out_before
         stats.ram_peak = window.peak
         return QueryResult(columns=names, rows=rows, stats=stats, plan=plan)
 
@@ -683,7 +752,20 @@ class GhostDB:
         (touches the whole file).  Raises
         :class:`~repro.errors.ImageError` on torn, truncated or
         corrupt images.
+
+        Fleet manifests (written by ``GhostDB(shards=N).snapshot()``)
+        are detected by magic and restored to a
+        :class:`~repro.shard.fleet.ShardedGhostDB` -- one entry point
+        for both deployment shapes.
         """
+        from repro.shard.persist import FLEET_MAGIC, restore_fleet
+        try:
+            with open(path, "rb") as fh:
+                magic = fh.read(len(FLEET_MAGIC))
+        except OSError:
+            magic = b""  # restore_db raises its canonical ImageError
+        if magic == FLEET_MAGIC:
+            return restore_fleet(path, verify=verify)
         from repro.persist.image import restore_db
         return restore_db(path, verify=verify)
 

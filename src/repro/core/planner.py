@@ -22,6 +22,7 @@ tables, reproducing the paper's fixed-strategy experiments.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -52,6 +53,24 @@ MAX_ASSIGNMENTS = 256
 
 StrategyLike = Union[str, VisStrategy, None]
 SortMethodLike = Union[str, SortMethod, None]
+
+
+def scatter_order(order: Optional[OrderPlan]) -> Optional[OrderPlan]:
+    """Rewrite a global :class:`OrderPlan` for one shard of a scatter.
+
+    A shard cannot apply the query's OFFSET/LIMIT window: the rows it
+    drops might be globally ranked above another shard's.  It *can*
+    safely pre-sort and keep its own top ``offset + limit`` rows --
+    any global window row from this shard must rank within the
+    shard's local top ``offset + limit`` (the global order is total,
+    so a shard's contribution to the window is a prefix of its local
+    order).  The gather side heap-merges the pre-sorted streams and
+    applies the window once, globally.
+    """
+    if order is None:
+        return None
+    stop = None if order.limit is None else order.offset + order.limit
+    return dataclasses.replace(order, offset=0, limit=stop)
 
 
 def _coerce_strategy(value: StrategyLike) -> Optional[VisStrategy]:

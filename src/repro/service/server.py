@@ -84,6 +84,14 @@ def plan_ram_claim(plan: QueryPlan, ram: SecureRam) -> int:
     ``[MIN_CLAIM_PAGES * page, capacity]`` so a pledge is always
     satisfiable.
     """
+    subplans = getattr(plan, "subplans", None)
+    if subplans is not None:
+        # a fleet plan pledges the sum of its per-shard claims against
+        # the fleet's pooled admission ledger (each fragment occupies
+        # its own shard's RAM for the whole statement)
+        total = sum(plan_ram_claim(sub, sub_ram)
+                    for sub, sub_ram in subplans())
+        return min(total, ram.capacity)
     claim = MIN_CLAIM_PAGES * ram.page_size
     chosen = plan.cost_report.chosen if plan.cost_report else None
     if chosen is not None:

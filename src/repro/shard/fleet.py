@@ -1,0 +1,997 @@
+"""``ShardedGhostDB``: N independent tokens behind the GhostDB API.
+
+Construction goes through the ordinary facade -- ``GhostDB(shards=N)``
+returns one of these -- and every statement kind keeps its single-token
+semantics:
+
+* **DDL** broadcasts to every shard (identical schemas everywhere).
+* **Loading** routes root rows by hashed global id and replicates
+  everything else; ``build()`` provisions each shard's token.
+* **SELECT** scatters when the query touches the root (each shard
+  plans its own fragment against its own statistics, executes the
+  ordinary QEPSJ + projection pipeline, pre-sorts under a rewritten
+  per-shard :class:`~repro.core.plan.OrderPlan` when there is one) and
+  the gather merges the streams back into exactly the row sequence a
+  single token would produce.  Root-free SELECTs run whole on one
+  deterministically chosen shard.
+* **DML** routes root inserts by the same hash, broadcasts replicated
+  writes, and splits deletes of root-referenced tables into the
+  executor's candidates / RESTRICT / apply phases so the fleet keeps
+  the single token's all-or-nothing behaviour.
+* **Compaction** stays per-shard.  Compacting the root renumbers
+  global ids exactly like a single token would (survivor rank in old
+  global order) by rebuilding the router's local->global maps.
+
+Simulated time models the shards as real parallel hardware: a fleet
+statement costs ``max(per-shard time) + gather merge``, while bytes,
+counters and per-operator work sum (see
+:meth:`~repro.core.executor.QueryStats.parallel`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import weakref
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.aggregate import apply_aggregates, effective_projections
+from repro.core.compaction import (DEFAULT_HEADROOM_FACTOR,
+                                   DEFAULT_PAGES_PER_STEP,
+                                   CompactionProgress)
+from repro.core.dml import DmlResult
+from repro.core.executor import QueryResult, QueryStats
+from repro.core.ghostdb import GhostDB
+from repro.core.plan import (OrderPlan, ProjectionMode, QueryPlan,
+                             SortMethod)
+from repro.core.planner import (SortMethodLike, StrategyLike,
+                                scatter_order)
+from repro.core.reference import ReferenceEngine
+from repro.core.session import PlanCache, plan_key
+from repro.core.sort import (dedup_rows, sort_projections,
+                             strip_internal_columns)
+from repro.errors import (BindError, CompactionDeclined, GhostDBError,
+                          SchemaError, SnapshotError)
+from repro.hardware.token import (SecureToken, TokenConfig,
+                                  fleet_admission_ram)
+from repro.schema.ddl import column_from_def
+from repro.schema.model import Table
+from repro.shard import gather
+from repro.shard.router import ShardRouter
+from repro.sql import ast
+from repro.sql.binder import (BoundDelete, BoundInsert, BoundQuery,
+                              with_anchor_id_tail)
+from repro.sql.parser import parse
+
+
+class FleetToken:
+    """The coordinator's view of the fleet's hardware.
+
+    Real storage, channels and RAM live on each shard's own
+    :class:`~repro.hardware.token.SecureToken`; this facade only
+    aggregates what fleet-level callers need -- most importantly the
+    admission-control RAM ledger, whose capacity is the *sum* of the
+    shard budgets (a scattered query pledges RAM on every shard at
+    once).
+    """
+
+    def __init__(self, tokens: List[SecureToken]):
+        self.tokens = tokens
+        self.ram = fleet_admission_ram(tokens)
+
+    def elapsed_s(self) -> float:
+        """Fleet makespan: the slowest token's simulated clock."""
+        return max(t.elapsed_s() for t in self.tokens)
+
+    def reset_costs(self) -> None:
+        for t in self.tokens:
+            t.reset_costs()
+
+    def set_throughput(self, mbps: float) -> None:
+        for t in self.tokens:
+            t.set_throughput(mbps)
+
+
+@dataclasses.dataclass
+class FleetQueryPlan:
+    """One planned fleet statement: per-shard plans plus gather recipe."""
+
+    #: the oracle-shaped bound query (what a single token would bind)
+    bound: BoundQuery
+    #: True: fragments on every shard; False: whole query on one shard
+    scatter: bool
+    #: per-shard fragment plans (scatter) or the single routed plan
+    shard_plans: List[QueryPlan]
+    #: admission ledgers the per-shard claims pledge against
+    shard_rams: List
+    #: home shard of a non-scattered plan
+    shard_id: Optional[int] = None
+    #: ``bound`` extended with the anchor-id tail fragments carry
+    scatter_bound: Optional[BoundQuery] = None
+    #: projection position of the anchor id (the merge key)
+    aid_pos: int = 0
+    #: how many columns :func:`with_anchor_id_tail` appended (0 or 1)
+    n_added: int = 0
+    #: positions of root-id projection columns needing local->global
+    #: translation (always includes ``aid_pos``)
+    trans_positions: Tuple[int, ...] = ()
+    #: the *global* ordering step the gather applies (oracle's plan)
+    gather_order: Optional[OrderPlan] = None
+    #: True when shards pre-sort and the gather merges by sort key
+    order_pushdown: bool = False
+
+    def subplans(self):
+        """(fragment plan, that shard's RAM) pairs, for admission."""
+        return list(zip(self.shard_plans, self.shard_rams))
+
+    def with_bound(self, bound: BoundQuery) -> "FleetQueryPlan":
+        """Re-target every fragment at a parameter-substituted bound."""
+        if bound is self.bound:
+            return self
+        if not self.scatter:
+            return dataclasses.replace(
+                self, bound=bound,
+                shard_plans=[self.shard_plans[0].with_bound(bound)],
+            )
+        scatter_bound = dataclasses.replace(
+            bound,
+            projections=self.scatter_bound.projections,
+            internal_tail=self.scatter_bound.internal_tail,
+        )
+        return dataclasses.replace(
+            self, bound=bound, scatter_bound=scatter_bound,
+            shard_plans=[p.with_bound(scatter_bound)
+                         for p in self.shard_plans],
+        )
+
+    def describe(self) -> str:
+        if not self.scatter:
+            return (f"fleet: route whole query to shard "
+                    f"{self.shard_id} (anchor {self.bound.anchor!r} "
+                    f"is replicated)\n"
+                    + self.shard_plans[0].describe())
+        lines = [f"fleet: scatter over {len(self.shard_plans)} shards, "
+                 f"gather merge by {self.bound.anchor}.id"]
+        if self.order_pushdown:
+            lines.append("gather: per-shard pre-sort + k-way heap "
+                         "merge by (sort key, anchor id)")
+        elif self.gather_order is not None:
+            lines.append("gather: global "
+                         + self.gather_order.describe())
+        for k, plan in enumerate(self.shard_plans):
+            lines.append(f"-- shard {k} --")
+            lines.append(plan.describe())
+        return "\n".join(lines)
+
+
+class FleetPreparedStatement:
+    """Prepared statement over the fleet (plan once per shard set)."""
+
+    def __init__(self, session: "FleetSession", sql: str,
+                 vis_strategy: StrategyLike = None,
+                 cross: Optional[bool] = None,
+                 projection: Union[str, ProjectionMode] = "project",
+                 order_method: SortMethodLike = None,
+                 parsed=None):
+        self.session = session
+        self.sql = sql
+        self._knobs = (vis_strategy, cross, projection, order_method)
+        self._key = plan_key(sql, vis_strategy, cross, projection,
+                             order_method)
+        db = session.db
+        db._require_built()
+        self.template: BoundQuery = db._bind(sql, parsed)
+        self.executions = 0
+
+    @property
+    def param_count(self) -> int:
+        return self.template.param_count
+
+    def plan_for(self, bound: BoundQuery,
+                 generations: Optional[Dict[str, Tuple[int, int]]] = None
+                 ) -> FleetQueryPlan:
+        db = self.session.db
+        cache = self.session.plan_cache
+        gens = generations if generations is not None \
+            else db.table_generations
+        plan = cache.get(self._key, gens)
+        if plan is None:
+            plan = db._plan_fleet(bound, *self._knobs)
+            cache.put(self._key, plan, db._generations_for(bound.tables))
+        return plan
+
+    def execute(self, params: Sequence = ()) -> QueryResult:
+        bound = self.template.substitute(tuple(params))
+        plan = self.plan_for(bound).with_bound(bound)
+        self.executions += 1
+        return self.session.db._execute_fleet_plan(plan)
+
+
+class FleetSession:
+    """Per-client plan cache and pinned execution over the fleet.
+
+    Duck-compatible with :class:`~repro.core.session.Session` where
+    the service layer needs it: ``prepare`` / ``query`` /
+    ``plan_cache`` / ``pin_generations`` / ``execute_pinned``.
+    """
+
+    def __init__(self, db: "ShardedGhostDB",
+                 plan_cache_capacity: int = 64):
+        db._require_built()
+        self.db = db
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        self._statements: "OrderedDict" = OrderedDict()
+        db._sessions.add(self)
+
+    def prepare(self, sql: str,
+                vis_strategy: StrategyLike = None,
+                cross: Optional[bool] = None,
+                projection: Union[str, ProjectionMode] = "project",
+                order_method: SortMethodLike = None,
+                parsed=None) -> FleetPreparedStatement:
+        return FleetPreparedStatement(self, sql, vis_strategy, cross,
+                                      projection, order_method, parsed)
+
+    def query(self, sql: str, params: Optional[Sequence] = None,
+              vis_strategy: StrategyLike = None,
+              cross: Optional[bool] = None,
+              projection: Union[str, ProjectionMode] = "project",
+              order_method: SortMethodLike = None,
+              parsed=None) -> QueryResult:
+        key = plan_key(sql, vis_strategy, cross, projection,
+                       order_method)
+        stmt = self._statements.get(key)
+        if stmt is None:
+            stmt = self.prepare(sql, vis_strategy, cross, projection,
+                                order_method, parsed)
+            self._statements[key] = stmt
+            while len(self._statements) > self.plan_cache.capacity:
+                self._statements.popitem(last=False)
+        return stmt.execute(tuple(params) if params is not None else ())
+
+    def invalidate(self) -> None:
+        self.plan_cache.invalidate()
+
+    def pin_generations(self, tables=None) -> Dict[str, Tuple[int, int]]:
+        gens = self.db.table_generations
+        if tables is None:
+            return dict(gens)
+        return {t: gens[t] for t in tables}
+
+    def execute_pinned(self, plan: FleetQueryPlan,
+                       pinned: Dict[str, Tuple[int, int]],
+                       announce: bool = True) -> QueryResult:
+        self._check_pin(plan, pinned, "at statement start")
+        result = self.db._execute_fleet_plan(plan, announce=announce)
+        self._check_pin(plan, pinned, "after execution")
+        return result
+
+    def _check_pin(self, plan: FleetQueryPlan,
+                   pinned: Dict[str, Tuple[int, int]], when: str) -> None:
+        live = self.db.table_generations
+        moved = {
+            t: (gen, live.get(t))
+            for t, gen in pinned.items()
+            if t in plan.bound.tables and live.get(t) != gen
+        }
+        if moved:
+            raise SnapshotError(
+                f"pinned generations moved {when}: {moved}"
+            )
+
+
+class ShardedGhostDB:
+    """N GhostDB shards behind the single-database statement API."""
+
+    def __init__(self, n_shards: int,
+                 config: Optional[TokenConfig] = None,
+                 indexed_columns: Optional[Dict[str, Sequence[str]]] = None):
+        if n_shards < 2:
+            raise ValueError(
+                "ShardedGhostDB needs shards >= 2; use GhostDB() for "
+                "a single token"
+            )
+        self.n_shards = n_shards
+        self.shards: List[GhostDB] = [
+            GhostDB(config=config, indexed_columns=indexed_columns)
+            for _ in range(n_shards)
+        ]
+        self.router = ShardRouter(n_shards)
+        self.token = FleetToken([s.token for s in self.shards])
+        self._ddl: List[str] = []
+        #: per-shard monotone local root id -> global root id
+        self._root_maps: List[List[int]] = [[] for _ in range(n_shards)]
+        self._next_root_gid = 0
+        self._sessions: "weakref.WeakSet[FleetSession]" = weakref.WeakSet()
+        self._default_session: Optional[FleetSession] = None
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # pass-through schema plumbing
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        return self.shards[0].schema
+
+    @property
+    def _binder(self):
+        return self.shards[0]._binder
+
+    @property
+    def root(self) -> str:
+        return self.schema.root
+
+    def _finalize_schema(self) -> None:
+        for shard in self.shards:
+            shard._finalize_schema()
+
+    def _require_built(self) -> None:
+        if self.shards[0].catalog is None:
+            raise GhostDBError("call build() before querying")
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    @property
+    def table_generations(self) -> Dict[str, Tuple[int, int]]:
+        """Per-table generations, summed across shards.
+
+        Sums change whenever *any* shard's generation moves, so the
+        plan-cache staleness and snapshot-pin machinery keep working
+        unchanged -- including for root inserts that touch only one
+        shard.
+        """
+        if self.shards[0].catalog is None:
+            return {}
+        per_shard = [s.table_generations for s in self.shards]
+        return {
+            t: (sum(g[t][0] for g in per_shard),
+                sum(g[t][1] for g in per_shard))
+            for t in per_shard[0]
+        }
+
+    def _generations_for(self, tables) -> Tuple:
+        gens = self.table_generations
+        return tuple(sorted((t, gens[t]) for t in tables))
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Optional[Sequence] = None,
+                vis_strategy: StrategyLike = None,
+                cross: Optional[bool] = None,
+                projection: Union[str, ProjectionMode] = "project",
+                order_method: SortMethodLike = None,
+                ) -> Union[QueryResult, DmlResult, None]:
+        """Execute one statement with single-token semantics (see
+        :meth:`repro.core.ghostdb.GhostDB.execute`)."""
+        parsed = parse(sql)
+        if not isinstance(parsed, ast.SelectQuery) and \
+                order_method is not None:
+            raise BindError(
+                f"order_method {order_method!r} applies to SELECT "
+                f"statements only"
+            )
+        if isinstance(parsed, ast.CreateTable):
+            if params:
+                raise BindError("DDL statements take no parameters")
+            # parse once here to surface errors once, then register on
+            # every shard (each shard owns its schema object)
+            Table(parsed.name,
+                  [column_from_def(c) for c in parsed.columns])
+            self._ddl.append(sql)
+            for shard in self.shards:
+                shard.execute(sql)
+            return None
+        if isinstance(parsed, ast.SelectQuery):
+            self._require_built()
+            return self._session_default().query(
+                sql, params, vis_strategy, cross, projection,
+                order_method=order_method, parsed=parsed,
+            )
+        self._finalize_schema()
+        if isinstance(parsed, ast.InsertStatement):
+            bound = self._binder.bind_insert(parsed, sql)
+            bound = GhostDB._substitute_dml(bound, params)
+            if self.shards[0].catalog is None:
+                self._route_load(bound.table, bound.rows)
+                return None
+            return self._run_dml_fleet(bound)
+        if isinstance(parsed, ast.DeleteStatement):
+            self._require_built()
+            bound = self._binder.bind_delete(parsed, sql)
+            return self._run_dml_fleet(
+                GhostDB._substitute_dml(bound, params))
+        raise BindError(
+            f"unsupported statement {type(parsed).__name__}"
+        )  # pragma: no cover - parser is exhaustive
+
+    # ------------------------------------------------------------------
+    # loading and building
+    # ------------------------------------------------------------------
+    def load(self, table: str, rows: Sequence[Tuple]) -> None:
+        """Queue rows, routing the root's across the fleet."""
+        self._finalize_schema()
+        if self.shards[0].catalog is not None:
+            raise SchemaError("database already built")
+        self._route_load(table, rows)
+
+    def _route_load(self, table: str, rows: Sequence[Tuple]) -> None:
+        if table != self.root:
+            for shard in self.shards:
+                shard.load(table, rows)
+            return
+        per_shard: List[List[Tuple]] = [[] for _ in self.shards]
+        for row in rows:
+            gid = self._next_root_gid
+            k = self.router.shard_of(gid)
+            per_shard[k].append(row)
+            self._root_maps[k].append(gid)
+            self._next_root_gid += 1
+        for k, shard_rows in enumerate(per_shard):
+            if shard_rows:
+                self.shards[k].load(table, shard_rows)
+
+    def build(self) -> None:
+        """Provision every shard's token (costs start from zero)."""
+        self._finalize_schema()
+        if self.shards[0].catalog is not None:
+            raise SchemaError("database already built")
+        for shard in self.shards:
+            shard.build()
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _bind(self, sql: str, parsed=None) -> BoundQuery:
+        bound = (self._binder.bind(parsed, sql) if parsed is not None
+                 else self._binder.bind_sql(sql))
+        if bound.is_aggregate:
+            bound = dataclasses.replace(
+                bound, projections=effective_projections(bound)
+            )
+        return sort_projections(bound, self.schema)
+
+    def _plan_fleet(self, bound: BoundQuery,
+                    vis_strategy: StrategyLike = None,
+                    cross: Optional[bool] = None,
+                    projection: Union[str, ProjectionMode] = "project",
+                    order_method: SortMethodLike = None,
+                    ) -> FleetQueryPlan:
+        """Plan one SELECT across the fleet.
+
+        A query whose table set avoids the root reads only replicated
+        data: it routes whole to one statement-hashed shard and its
+        answer (rows *and* simulated costs) matches a single token's
+        bit for bit.  Everything else scatters.
+        """
+        rams = [s.token.ram for s in self.shards]
+        if self.root not in bound.tables:
+            k = self.router.shard_for_statement(bound.sql)
+            plan = self.shards[k]._planner.plan(
+                bound, vis_strategy, cross, projection, order_method)
+            return FleetQueryPlan(
+                bound=bound, scatter=False, shard_plans=[plan],
+                shard_rams=[rams[k]], shard_id=k,
+            )
+        scatter_bound, aid_pos, n_added = with_anchor_id_tail(
+            bound, self.schema)
+        trans_positions = tuple(
+            i for i, col in enumerate(scatter_bound.projections)
+            if col.table == self.root and col.is_id
+        )
+        shard_plans = [
+            shard._planner.plan(scatter_bound, vis_strategy, cross,
+                                projection, order_method)
+            for shard in self.shards
+        ]
+        gather_order = shard_plans[0].order
+        pushdown = (gather_order is not None
+                    and not bound.is_aggregate and not bound.distinct)
+        rewritten: List[QueryPlan] = []
+        for plan in shard_plans:
+            if not pushdown:
+                # aggregation / DISTINCT precede ordering: the shard
+                # must not sort (and must not slice) anything
+                plan = dataclasses.replace(plan, order=None)
+            else:
+                order = scatter_order(plan.order)
+                if order.method is SortMethod.INDEX_ORDER and \
+                        order.index_table != bound.anchor:
+                    # a non-anchor index realizes (key, child id,
+                    # anchor id) order; the gather merge needs streams
+                    # in (key, anchor id) order, so fall back to the
+                    # external sort (same output order on one shard)
+                    order = dataclasses.replace(
+                        order, method=SortMethod.EXTERNAL,
+                        index_table=None, index_column=None)
+                plan = dataclasses.replace(plan, order=order)
+            rewritten.append(plan)
+        return FleetQueryPlan(
+            bound=bound, scatter=True, shard_plans=rewritten,
+            shard_rams=rams, scatter_bound=scatter_bound,
+            aid_pos=aid_pos, n_added=n_added,
+            trans_positions=trans_positions,
+            gather_order=gather_order, order_pushdown=pushdown,
+        )
+
+    def plan_query(self, sql: str,
+                   vis_strategy: StrategyLike = None,
+                   cross: Optional[bool] = None,
+                   projection: Union[str, ProjectionMode] = "project",
+                   order_method: SortMethodLike = None,
+                   ) -> FleetQueryPlan:
+        self._require_built()
+        bound = self._bind(sql)
+        if bound.has_parameters:
+            raise BindError(
+                f"statement has {bound.param_count} unbound ? "
+                f"placeholder(s): use prepare() and execute(params)"
+            )
+        return self._plan_fleet(bound, vis_strategy, cross, projection,
+                                order_method)
+
+    def explain(self, sql: str, analyze: bool = False, **kwargs) -> str:
+        """Fleet plan description: per-shard candidate costs plus the
+        gather merge premium.  ``analyze=True`` executes the fleet
+        plan once and appends the measured per-shard makespans."""
+        plan = self.plan_query(sql, **kwargs)
+        text = plan.describe()
+        if plan.scatter:
+            est_rows = sum(self._estimate_rows(k, p)
+                           for k, p in enumerate(plan.shard_plans))
+            n_cols = len(plan.scatter_bound.projections)
+            merge_s = gather.merge_cost_s(
+                est_rows, n_cols, self.n_shards,
+                self.shards[0].token.channel.throughput_mbps)
+            text += (f"\ngather merge: ~{est_rows} rows x {n_cols} "
+                     f"cols est -> {merge_s * 1e3:.3f} ms")
+        if analyze:
+            result = self._execute_fleet_plan(plan)
+            per_shard = ", ".join(
+                f"shard{k}={s.total_s:.6f}s"
+                for k, s in enumerate(result.shard_stats))
+            text += (f"\nmeasured: fleet {result.stats.total_s:.6f}s "
+                     f"({per_shard})")
+        return text
+
+    def _estimate_rows(self, k: int, plan: QueryPlan) -> int:
+        """Crude per-shard result-size estimate for EXPLAIN pricing."""
+        catalog = self.shards[k].catalog
+        anchor = plan.bound.anchor
+        live = catalog.n_rows(anchor) - len(catalog.tombstones[anchor])
+        report = plan.cost_report
+        if report is None:
+            return max(1, live)
+        sel = 1.0
+        for value in report.selectivities.values():
+            sel *= value
+        for value in report.hidden_selectivities.values():
+            sel *= value
+        return max(1, round(live * sel))
+
+    # ------------------------------------------------------------------
+    # scatter-gather execution
+    # ------------------------------------------------------------------
+    def _execute_fleet_plan(self, plan: FleetQueryPlan, *,
+                            announce: bool = True) -> QueryResult:
+        if not plan.scatter:
+            result = self.shards[plan.shard_id].execute_plan(
+                plan.shard_plans[0], announce=announce)
+            result.shard_stats = [result.stats]
+            result = QueryResult(columns=result.columns,
+                                 rows=result.rows,
+                                 stats=result.stats, plan=plan)
+            result.shard_stats = [result.stats]
+            return result
+        frags = [
+            self.shards[k].execute_fragment(plan.shard_plans[k],
+                                            announce=announce)
+            for k in range(self.n_shards)
+        ]
+        streams = [
+            gather.translate_rows(frag.rows, plan.trans_positions,
+                                  self._root_maps[k])
+            for k, frag in enumerate(frags)
+        ]
+        names, rows = self._gather(plan, frags[0].columns, streams)
+        merged_rows = sum(len(s) for s in streams)
+        merge_s = gather.merge_cost_s(
+            merged_rows, len(plan.scatter_bound.projections),
+            self.n_shards, self.shards[0].token.channel.throughput_mbps)
+        stats = QueryStats.parallel(
+            [f.stats for f in frags], merge_s=merge_s,
+            result_rows=len(rows))
+        result = QueryResult(columns=names, rows=rows, stats=stats,
+                             plan=plan)
+        result.shard_stats = [f.stats for f in frags]
+        return result
+
+    def _gather(self, plan: FleetQueryPlan, names: List[str],
+                streams: List[gather.Rows]
+                ) -> Tuple[List[str], List[Tuple]]:
+        """The global finishing stages, in single-token order."""
+        bound = plan.bound
+        if bound.is_aggregate:
+            merged = gather.merge_by_anchor(streams, plan.aid_pos)
+            if plan.n_added:
+                merged = [row[:len(bound.projections)] for row in merged]
+            names, rows = apply_aggregates(bound, bound.projections,
+                                           merged)
+            return names, gather.finish_order(rows, plan.gather_order)
+        if bound.distinct:
+            merged = gather.merge_by_anchor(streams, plan.aid_pos)
+            if plan.n_added:
+                merged = [row[:len(bound.projections)] for row in merged]
+                names = names[:len(bound.projections)]
+            rows = dedup_rows(merged)
+            return names, gather.finish_order(rows, plan.gather_order)
+        if plan.order_pushdown and plan.gather_order.keys \
+                and plan.gather_order.method is not SortMethod.TRUNCATE:
+            rows = gather.merge_ordered(streams, plan.gather_order,
+                                        plan.aid_pos)
+        else:
+            rows = gather.merge_by_anchor(streams, plan.aid_pos)
+            if plan.gather_order is not None:
+                rows = gather.window(rows, plan.gather_order)
+        return strip_internal_columns(plan.scatter_bound, names, rows)
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def session(self, plan_cache_capacity: int = 64) -> FleetSession:
+        return FleetSession(self, plan_cache_capacity)
+
+    def _session_default(self) -> FleetSession:
+        if self._default_session is None:
+            self._default_session = FleetSession(self)
+        return self._default_session
+
+    def prepare(self, sql: str,
+                vis_strategy: StrategyLike = None,
+                cross: Optional[bool] = None,
+                projection: Union[str, ProjectionMode] = "project",
+                order_method: SortMethodLike = None,
+                ) -> FleetPreparedStatement:
+        self._require_built()
+        return self._session_default().prepare(
+            sql, vis_strategy, cross, projection, order_method)
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _run_dml_fleet(self, bound: Union[BoundInsert, BoundDelete]
+                       ) -> DmlResult:
+        if isinstance(bound, BoundInsert):
+            if bound.table == self.root:
+                return self._insert_root(bound)
+            return self._broadcast_dml(bound)
+        parent = self.schema.parent(bound.table)
+        if bound.table != self.root and parent == self.root:
+            return self._delete_two_phase(bound)
+        # root deletes (nothing references the root) and deletes of
+        # tables referenced only by replicated tables are safe to run
+        # independently per shard: every shard sees the same
+        # referencing rows, so RESTRICT verdicts agree everywhere
+        return self._broadcast_dml(
+            bound, sum_affected=(bound.table == self.root))
+
+    def _insert_root(self, bound: BoundInsert) -> DmlResult:
+        start = self._next_root_gid
+        per_shard_gids: List[List[int]] = [[] for _ in self.shards]
+        per_shard_rows: List[List[Tuple]] = [[] for _ in self.shards]
+        for i, row in enumerate(bound.rows):
+            gid = start + i
+            k = self.router.shard_of(gid)
+            per_shard_gids[k].append(gid)
+            per_shard_rows[k].append(row)
+        sub = {
+            k: dataclasses.replace(bound, rows=tuple(rows))
+            for k, rows in enumerate(per_shard_rows) if rows
+        }
+        # validate every slice before any shard mutates: a single
+        # token validates the whole statement up front, and the fleet
+        # must keep that all-or-nothing contract
+        for k, sub_bound in sub.items():
+            self.shards[k]._dml.validate_insert(sub_bound)
+        results = [self.shards[k]._run_dml(sub_bound)
+                   for k, sub_bound in sub.items()]
+        for k, gids in enumerate(per_shard_gids):
+            self._root_maps[k].extend(gids)
+        self._next_root_gid = start + len(bound.rows)
+        stats = QueryStats.parallel([r.stats for r in results])
+        stats.result_rows = len(bound.rows)
+        return DmlResult(statement="insert", table=bound.table,
+                         rows_affected=len(bound.rows), stats=stats)
+
+    def _broadcast_dml(self, bound, sum_affected: bool = False
+                       ) -> DmlResult:
+        if isinstance(bound, BoundInsert):
+            # pre-validate once; the targets are replicated identically
+            self.shards[0]._dml.validate_insert(bound)
+        results = [shard._run_dml(bound) for shard in self.shards]
+        affected = (sum(r.rows_affected for r in results)
+                    if sum_affected else results[0].rows_affected)
+        stats = QueryStats.parallel([r.stats for r in results])
+        stats.result_rows = affected
+        return DmlResult(statement=results[0].statement,
+                         table=bound.table, rows_affected=affected,
+                         stats=stats)
+
+    def _delete_two_phase(self, bound: BoundDelete) -> DmlResult:
+        """Delete from a root-referenced table, fleet-atomically.
+
+        Each shard holds a different slice of the referencing root, so
+        a RESTRICT violation may exist on one shard only.  Phases:
+        candidates everywhere, RESTRICT-check everywhere, and only
+        then tombstone anywhere -- a failing check aborts before any
+        shard mutates, exactly like the single token's sequential
+        check-then-apply.
+        """
+        if bound.has_parameters:
+            raise BindError(
+                f"statement has {bound.param_count} unbound ? "
+                f"placeholder(s); pass params to execute()"
+            )
+        meters = [_ShardMeter(shard) for shard in self.shards]
+        ids: List[List[int]] = []
+        for shard, meter in zip(self.shards, meters):
+            with meter.window():
+                ids.append(shard._dml.delete_candidates(bound))
+        for shard, meter, shard_ids in zip(self.shards, meters, ids):
+            with meter.window():
+                shard._dml.check_restrict(bound.table, shard_ids)
+        counts = []
+        for shard, meter, shard_ids in zip(self.shards, meters, ids):
+            with meter.window():
+                counts.append(shard._dml.apply_delete(bound, shard_ids))
+        stats = QueryStats.parallel([m.stats() for m in meters])
+        stats.result_rows = counts[0]
+        return DmlResult(statement="delete", table=bound.table,
+                         rows_affected=counts[0], stats=stats)
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def compact(self, table: str, max_steps: Optional[int] = None,
+                pages_per_step: int = DEFAULT_PAGES_PER_STEP,
+                headroom_factor: float = DEFAULT_HEADROOM_FACTOR
+                ) -> CompactionProgress:
+        """Compact ``table`` on every shard.
+
+        Replicated tables compact in the usual bounded steps (each
+        shard folds the identical debt).  The *root* runs to
+        completion in one call instead: folding root tombstones
+        renumbers global ids (survivor rank in old global order,
+        matching the single token), and the fleet must never be
+        caught between shards with half the ids renumbered.  For the
+        same reason every shard's advisor is consulted up front -- one
+        shard declining after another folded would leave exactly that
+        torn state, so the fleet declines as a whole first.
+        """
+        self._require_built()
+        if table != self.root:
+            progs = [shard.compact(table, max_steps, pages_per_step,
+                                   headroom_factor)
+                     for shard in self.shards]
+            return _combine_progress(progs)
+        for k, shard in enumerate(self.shards):
+            report = shard._compactor.advise(table, headroom_factor)
+            if report.verdict in ("defer", "decline"):
+                raise CompactionDeclined(
+                    f"compact({table}): shard {k} advisor verdict "
+                    f"{report.verdict!r}; the fleet declines as a "
+                    f"whole (root id renumbering is all-or-nothing)"
+                )
+        old_tombstones = [set(shard.catalog.tombstones[table])
+                          for shard in self.shards]
+        progs = [shard.compact(table, None, pages_per_step,
+                               headroom_factor)
+                 for shard in self.shards]
+        self._rebuild_root_maps(old_tombstones)
+        return _combine_progress(progs)
+
+    def _rebuild_root_maps(self,
+                           old_tombstones: List[set]) -> None:
+        """Renumber global root ids after the root's tombstones fold.
+
+        Survivors keep their relative order and take dense new ids by
+        rank -- the same remap a single token's compaction applies --
+        and each shard's map stays monotone because ranking preserves
+        order within a shard.
+        """
+        survivors: List[Tuple[int, int]] = []   # (old gid, shard)
+        for k, id_map in enumerate(self._root_maps):
+            dead = old_tombstones[k]
+            survivors.extend(
+                (gid, k) for local, gid in enumerate(id_map)
+                if local not in dead
+            )
+        survivors.sort()
+        new_maps: List[List[int]] = [[] for _ in self.shards]
+        for new_gid, (_, k) in enumerate(survivors):
+            new_maps[k].append(new_gid)
+        self._root_maps = new_maps
+        self._next_root_gid = len(survivors)
+
+    def compaction_status(self):
+        """Shard 0's view (replicated tables carry identical debt)."""
+        self._require_built()
+        return self.shards[0].compaction_status()
+
+    def rebuild(self, indexed_columns=None) -> None:
+        """Fold all DML debt on every shard (see ``GhostDB.rebuild``)."""
+        self._require_built()
+        if indexed_columns is not None:
+            raise GhostDBError(
+                "changing indexed columns on a fleet is not supported; "
+                "rebuild the fleet from the raw rows instead"
+            )
+        for _ in range(len(self.schema.tables) + 1):
+            dirty: List[str] = []
+            for table in self.schema.tables:
+                if any(table in s._compactor.dirty_tables()
+                       for s in self.shards):
+                    dirty.append(table)
+            if not dirty:
+                break
+            for table in dirty:
+                self.compact(table)
+        self.token.reset_costs()
+        self._generation += 1
+
+    # ------------------------------------------------------------------
+    # statistics, audit, reports
+    # ------------------------------------------------------------------
+    def analyze(self) -> Dict[int, Dict[str, Dict]]:
+        self._require_built()
+        return {k: shard.analyze()
+                for k, shard in enumerate(self.shards)}
+
+    def statistics(self) -> Dict[int, Dict[str, Dict]]:
+        self._require_built()
+        return {k: shard.statistics()
+                for k, shard in enumerate(self.shards)}
+
+    def storage_report(self) -> Dict[str, int]:
+        """Flash bytes per component family, summed over the fleet."""
+        self._require_built()
+        combined: Dict[str, int] = {}
+        for shard in self.shards:
+            for key, value in shard.storage_report().items():
+                combined[key] = combined.get(key, 0) + value
+        return combined
+
+    def audit_outbound(self) -> Dict[int, list]:
+        """Per-channel audit logs: one independent log per shard."""
+        return {k: shard.audit_outbound()
+                for k, shard in enumerate(self.shards)}
+
+    def set_throughput(self, mbps: float) -> None:
+        self.token.set_throughput(mbps)
+
+    # ------------------------------------------------------------------
+    # oracle
+    # ------------------------------------------------------------------
+    def reference_query(self, sql: str) -> Tuple[List[str], List[Tuple]]:
+        """Ground truth over the reconstructed *global* state."""
+        self._require_built()
+        bound = self._binder.bind_sql(sql)
+        raw_rows, tombstones = self._global_state()
+        engine = ReferenceEngine(self.schema, raw_rows, tombstones)
+        return engine.execute(bound)
+
+    def _global_state(self):
+        """Reassemble global raw rows/tombstones from the shards.
+
+        Root rows land at their global ids via the router maps; all
+        other tables (and all foreign keys, which only ever reference
+        replicated tables) carry global ids natively on every shard.
+        """
+        root = self.root
+        rows: List[Optional[Tuple]] = [None] * self._next_root_gid
+        dead = set()
+        for k, shard in enumerate(self.shards):
+            id_map = self._root_maps[k]
+            raw = shard.catalog.raw_rows[root]
+            tombs = shard.catalog.tombstones[root]
+            for local, gid in enumerate(id_map):
+                rows[gid] = raw[local]
+                if local in tombs:
+                    dead.add(gid)
+        raw_rows = {root: rows}
+        tombstones = {root: dead}
+        shard0 = self.shards[0]
+        for table in self.schema.tables:
+            if table == root:
+                continue
+            raw_rows[table] = list(shard0.catalog.raw_rows[table])
+            tombstones[table] = set(shard0.catalog.tombstones[table])
+        return raw_rows, tombstones
+
+    # ------------------------------------------------------------------
+    # durable fleet image
+    # ------------------------------------------------------------------
+    def snapshot(self, path: str) -> Dict[str, int]:
+        """Write one manifest plus one image per shard (see
+        :mod:`repro.shard.persist`)."""
+        from repro.shard.persist import snapshot_fleet
+        return snapshot_fleet(self, path)
+
+    @classmethod
+    def restore(cls, path: str, verify: bool = False) -> "ShardedGhostDB":
+        from repro.shard.persist import restore_fleet
+        return restore_fleet(path, verify=verify)
+
+
+class _ShardMeter:
+    """Per-shard cost capture across the phases of a fleet statement.
+
+    The ledger/channel deltas span all phases; RAM windows open and
+    close around each phase separately (the contextvar window stack is
+    process-wide, so windows of different shards must never nest) and
+    the meter keeps the largest phase peak -- phases drain their
+    allocations before returning, so the max over phases is the true
+    per-shard peak.
+    """
+
+    def __init__(self, shard: GhostDB):
+        self.shard = shard
+        self._before = shard.token.ledger.snapshot()
+        ch = shard.token.channel.stats
+        self._in0 = ch.bytes_to_secure
+        self._out0 = ch.bytes_to_untrusted
+        self._peak = 0
+
+    def window(self):
+        meter = self
+
+        class _Window:
+            def __enter__(self):
+                self._w = meter.shard.token.ram.query_window()
+                self._inner = self._w.__enter__()
+                return self._inner
+
+            def __exit__(self, *exc):
+                try:
+                    return self._w.__exit__(*exc)
+                finally:
+                    meter._peak = max(meter._peak, self._inner.peak)
+
+        return _Window()
+
+    def stats(self) -> QueryStats:
+        shard = self.shard
+        stats = shard._stats_between(self._before,
+                                     shard.token.ledger.snapshot(),
+                                     rows=())
+        ch = shard.token.channel.stats
+        stats.bytes_to_secure = ch.bytes_to_secure - self._in0
+        stats.bytes_to_untrusted = ch.bytes_to_untrusted - self._out0
+        stats.ram_peak = self._peak
+        return stats
+
+
+def _combine_progress(progs: List[CompactionProgress]
+                      ) -> CompactionProgress:
+    """One fleet-level progress view over per-shard compaction runs."""
+    states = {p.state for p in progs}
+    if states == {"clean"}:
+        state = "clean"
+    elif "in-progress" in states:
+        state = "in-progress"
+    else:
+        state = "done"
+    in_flight = next((p for p in progs if p.state == "in-progress"),
+                     progs[0])
+    return dataclasses.replace(
+        progs[0],
+        state=state,
+        steps_run=max(p.steps_run for p in progs),
+        phase=in_flight.phase if state == "in-progress" else "",
+        restarts=max(p.restarts for p in progs),
+        pages_rewritten=sum(p.pages_rewritten for p in progs),
+        max_step_us=max(p.max_step_us for p in progs),
+        last_step_us=progs[-1].last_step_us,
+    )

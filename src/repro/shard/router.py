@@ -1,0 +1,53 @@
+"""Row and statement routing for the sharded fleet.
+
+Partitioning rule
+-----------------
+
+Only the schema's **root** table is partitioned.  GhostDB schemas are
+trees with exactly one root; every foreign key points from a table to
+one of its children, so no foreign key anywhere references the root.
+Partitioning the root and replicating everything else therefore
+keeps every shard *referentially closed*: a shard's slice of the root
+plus full copies of the other tables contains every row any of its
+QEPSJ pipelines, SKT lookups or RESTRICT checks can reach -- and all
+non-root local ids coincide with their global ids.
+
+Root rows are placed by a Knuth multiplicative hash of the global id
+(not ``id % N``, which would turn the sequential-append workload into
+a round-robin that correlates with every monotone attribute).  Each
+shard keeps a monotone map from its local root ids to global ids:
+rows are routed in global-id order and local ids are dense append
+positions, so per-shard anchor-ordered streams translate into
+globally anchor-ordered streams -- the invariant the gather's k-way
+merge relies on.
+
+Statements that never touch the root (their anchor is a replicated
+table) are not scattered at all: they run, whole, on one shard picked
+by a CRC32 of the statement text.  CRC32 rather than ``hash()``
+because Python string hashing is salted per process -- replaying a
+workload on a twin fleet must route every statement identically.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+#: Knuth's 2^32 multiplicative-hash constant
+KNUTH_MULTIPLIER = 2654435761
+
+
+class ShardRouter:
+    """Pure routing decisions: ids/statements -> shard index."""
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ValueError("a fleet needs at least one shard")
+        self.n_shards = n_shards
+
+    def shard_of(self, gid: int) -> int:
+        """The shard a root row with global id ``gid`` lives on."""
+        return ((gid * KNUTH_MULTIPLIER) & 0xFFFFFFFF) % self.n_shards
+
+    def shard_for_statement(self, sql: str) -> int:
+        """Deterministic home shard for a non-scattered statement."""
+        return zlib.crc32(sql.encode("utf-8")) % self.n_shards

@@ -155,6 +155,34 @@ class BoundQuery:
         return seen
 
 
+def with_anchor_id_tail(bound: BoundQuery, schema: Schema
+                        ) -> Tuple[BoundQuery, int, int]:
+    """Fan a bound plan out for scatter execution: guarantee the
+    anchor table's ``id`` column is projected.
+
+    The scatter-gather executor merges per-shard row streams by
+    anchor id (translated shard-local -> global), so every scattered
+    fragment must carry that id -- even for aggregate and DISTINCT
+    shapes, whose single-token pipelines never need it.  Returns
+    ``(bound, aid_position, n_added)``: the (possibly extended) bound
+    query, the projection position of the anchor id, and how many
+    internal columns were appended (0 or 1).  Appended columns count
+    into ``internal_tail`` so the ordinary result stripping removes
+    them after the gather.
+    """
+    for i, col in enumerate(bound.projections):
+        if col.table == bound.anchor and col.is_id:
+            return bound, i, 0
+    id_col = BoundColumn(bound.anchor,
+                         schema.table(bound.anchor).column("id"))
+    extended = dataclasses.replace(
+        bound,
+        projections=bound.projections + (id_col,),
+        internal_tail=bound.internal_tail + 1,
+    )
+    return extended, len(bound.projections), 1
+
+
 def _render_value(value) -> str:
     """Literal as it would appear in statement text."""
     if isinstance(value, ast.Parameter):

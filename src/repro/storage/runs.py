@@ -29,6 +29,7 @@ accounting and flash charging are identical to the scalar paths.
 
 from __future__ import annotations
 
+import heapq
 import sys
 from array import array
 from bisect import bisect_left
@@ -117,6 +118,41 @@ def difference_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
     if not b:
         return sorted(set(a))
     return sorted(set(a).difference(b))
+
+
+def union_sorted_many(runs: Sequence[Sequence[int]]) -> List[int]:
+    """Sorted, deduplicated k-way union of sorted runs.
+
+    A true streaming heap merge (``heapq.merge``), not repeated
+    two-way unions: the scatter-gather executor funnels one sorted
+    anchor-id stream per shard through here, so the merge must be a
+    single pass over ``sum(len(run))`` ids regardless of shard count.
+    """
+    out: List[int] = []
+    last = None
+    for value in heapq.merge(*runs):
+        if value != last:
+            out.append(value)
+            last = value
+    return out
+
+
+def intersect_sorted_many(runs: Sequence[Sequence[int]]) -> List[int]:
+    """Sorted, deduplicated k-way intersection of sorted runs."""
+    if not runs:
+        return []
+    acc = sorted(set(runs[0]))
+    for run in runs[1:]:
+        if not acc:
+            break
+        acc = intersect_sorted(acc, run)
+    return acc
+
+
+def difference_sorted_many(first: Sequence[int],
+                           rest: Sequence[Sequence[int]]) -> List[int]:
+    """Sorted, deduplicated ``first - union(rest)`` of sorted runs."""
+    return difference_sorted(first, union_sorted_many(rest))
 
 
 def dedupe_sorted(values: List[int], last: Optional[int] = None

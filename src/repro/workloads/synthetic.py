@@ -79,12 +79,18 @@ class SyntheticConfig:
 
 
 def build_synthetic(config: Optional[SyntheticConfig] = None,
-                    token_config: Optional[TokenConfig] = None) -> GhostDB:
-    """Create, load and build a GhostDB over the synthetic data set."""
+                    token_config: Optional[TokenConfig] = None,
+                    shards: int = 1) -> GhostDB:
+    """Create, load and build a GhostDB over the synthetic data set.
+
+    ``shards > 1`` builds the same data set on a hash-partitioned
+    fleet (``GhostDB(shards=N)``) instead of a single token.
+    """
     cfg = config or SyntheticConfig()
     rng = random.Random(cfg.seed)
     indexes = FULL_INDEXES if cfg.full_indexing else EXPERIMENT_INDEXES
-    db = GhostDB(config=token_config, indexed_columns=dict(indexes))
+    db = GhostDB(config=token_config, indexed_columns=dict(indexes),
+                 shards=shards)
     for ddl in DDL:
         db.execute(ddl)
 

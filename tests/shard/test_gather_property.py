@@ -1,0 +1,176 @@
+"""Property suite for the gather-side merge operators.
+
+Two families of properties, both against brute-force references:
+
+* **k-way sorted-run algebra** -- random sorted u32 id runs split
+  across K "shard" streams must union/intersect/difference to exactly
+  what the flat single-run reference computes, for any K and any
+  duplicate structure (:mod:`repro.storage.runs`).
+* **distributed ordering** -- per-shard top-(offset+limit) truncation
+  followed by the gather's heap merge must equal the global
+  sort-then-limit, for ASC and DESC keys, with duplicate sort keys
+  placed across shard boundaries (the tie-break must still be the
+  global anchor id, never anything shard-local).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import OrderPlan, SortMethod
+from repro.shard import gather
+from repro.shard.router import ShardRouter
+from repro.sql.binder import BoundColumn, BoundOrderItem
+from repro.schema.model import Column
+from repro.storage.codec import IntType
+from repro.storage.runs import (difference_sorted_many,
+                                intersect_sorted_many, union_sorted_many)
+
+ids = st.lists(st.integers(min_value=0, max_value=2**32 - 1),
+               min_size=0, max_size=120)
+
+
+def split_runs(universe, k, seed):
+    """Deal a sorted id list into ``k`` sorted sub-runs, randomly."""
+    rng = random.Random(seed)
+    runs = [[] for _ in range(k)]
+    for value in sorted(universe):
+        runs[rng.randrange(k)].append(value)
+    return runs
+
+
+@settings(max_examples=60, deadline=None)
+@given(ids, st.integers(min_value=1, max_value=6), st.integers())
+def test_union_many_equals_flat_reference(values, k, seed):
+    runs = split_runs(set(values), k, seed)
+    assert union_sorted_many(runs) == sorted(set(values))
+
+
+@settings(max_examples=60, deadline=None)
+@given(ids, ids, st.integers(min_value=1, max_value=5), st.integers())
+def test_intersect_many_equals_set_reference(a, b, k, seed):
+    # interleave two base sets across k+1 runs sharing elements
+    runs = split_runs(set(a) | set(b), k, seed)
+    runs.append(sorted(set(a)))
+    expected = sorted(set.intersection(*(set(r) for r in runs)))
+    assert intersect_sorted_many(runs) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(ids, st.integers(min_value=1, max_value=5), st.integers())
+def test_difference_many_equals_set_reference(values, k, seed):
+    first = sorted(set(values))
+    rest = split_runs(set(v for v in values if v % 3), k, seed)
+    expected = sorted(set(first) - set().union(*map(set, rest)))
+    assert difference_sorted_many(first, rest) == expected
+
+
+def test_intersect_many_empty_inputs():
+    assert intersect_sorted_many([]) == []
+    assert intersect_sorted_many([[1, 2], []]) == []
+    assert union_sorted_many([]) == []
+    assert difference_sorted_many([1, 2], []) == [1, 2]
+
+
+# ---------------------------------------------------------------------------
+# distributed ordering == global sort-then-limit
+# ---------------------------------------------------------------------------
+
+INT = Column("v", IntType(4))
+
+
+def order_plan(desc, limit, offset):
+    item = BoundOrderItem(BoundColumn("T", INT), desc=desc)
+    return OrderPlan(keys=(item,), method=SortMethod.EXTERNAL,
+                     limit=limit, offset=offset,
+                     key_positions=(1,), aid_position=0)
+
+
+rows_strategy = st.lists(
+    st.integers(min_value=-50, max_value=50),   # few values -> many ties
+    min_size=0, max_size=80,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows_strategy,
+       st.integers(min_value=1, max_value=5),
+       st.booleans(),
+       st.one_of(st.none(), st.integers(min_value=0, max_value=20)),
+       st.integers(min_value=0, max_value=6))
+def test_shard_topk_merge_equals_global_sort(values, k, desc, limit,
+                                             offset):
+    """Per-shard prune + heap merge == sort the world, then slice."""
+    rows = [(gid, value) for gid, value in enumerate(values)]
+    router = ShardRouter(k)
+    shards = [[] for _ in range(k)]
+    for row in rows:                       # hash placement, like loads
+        shards[router.shard_of(row[0])].append(row)
+
+    plan = order_plan(desc, limit, offset)
+    key = gather._order_key(plan, aid_pos=0)
+    stop = None if limit is None else offset + limit
+    streams = []
+    for shard_rows in shards:
+        # each shard pre-sorts its own rows and prunes to offset+limit
+        local = sorted(shard_rows, key=key)
+        streams.append(local if stop is None else local[:stop])
+
+    got = gather.merge_ordered(streams, plan, aid_pos=0)
+
+    # the reference: global stable sort by (key, gid), then the window
+    reference = sorted(rows, key=key)
+    expected = reference[offset:None if limit is None else offset + limit]
+    assert got == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_strategy, st.integers(min_value=1, max_value=4),
+       st.booleans())
+def test_duplicate_keys_at_shard_boundaries_break_ties_by_gid(
+        values, k, desc):
+    """With every key duplicated on every shard, order is still total."""
+    # place each value on ALL shards with distinct gids: maximal ties
+    rows = []
+    gid = 0
+    for value in values[:25]:
+        for _ in range(k):
+            rows.append((gid, value))
+            gid += 1
+    shards = [[] for _ in range(k)]
+    for i, row in enumerate(rows):
+        shards[i % k].append(row)
+    plan = order_plan(desc, None, 0)
+    key = gather._order_key(plan, aid_pos=0)
+    streams = [sorted(s, key=key) for s in shards]
+    got = gather.merge_ordered(streams, plan, aid_pos=0)
+    assert got == sorted(rows, key=key)
+    # ties resolved by ascending global id within equal keys
+    for (g1, v1), (g2, v2) in zip(got, got[1:]):
+        if v1 == v2:
+            assert g1 < g2
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_strategy, st.integers(min_value=1, max_value=5),
+       st.integers(min_value=0, max_value=10))
+def test_finish_order_matches_stable_sort(values, k, limit):
+    """Derived-row ordering (aggregates/DISTINCT) == stable sort."""
+    rows = [(i, value) for i, value in enumerate(values)]
+    plan = order_plan(False, limit, 0)
+    got = gather.finish_order(list(rows), plan)
+    assert got == sorted(rows, key=lambda r: (r[1], r[0]))[:limit]
+
+
+def test_merge_by_anchor_reconstructs_global_order():
+    streams = [[(0, "a"), (3, "d")], [(1, "b")], [], [(2, "c")]]
+    assert gather.merge_by_anchor(streams, 0) == [
+        (0, "a"), (1, "b"), (2, "c"), (3, "d")]
+
+
+def test_merge_cost_scales_with_rows_and_shards():
+    base = gather.merge_cost_s(1000, 4, 2, 1.5)
+    assert gather.merge_cost_s(2000, 4, 2, 1.5) > base
+    assert gather.merge_cost_s(1000, 4, 8, 1.5) > base
+    assert gather.merge_cost_s(0, 4, 2, 1.5) == 0.0
