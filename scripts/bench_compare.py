@@ -98,6 +98,25 @@ def main() -> int:
         print(f"{'service_loadgen q/s':30s} {base_qps:10.1f} "
               f"{fresh_qps:10.1f} {ratio:6.2f}x{flag}")
 
+    # retry storm: the loadgen buckets transport-layer timeout and
+    # retry *observations* into error_types even when every query
+    # eventually succeeded; a fresh run that starts timing out or
+    # retrying where the baseline had none is a service regression no
+    # throughput ratio would catch
+    fresh_errors = fresh_report.get("service_loadgen", {}) \
+                               .get("error_types", {})
+    base_errors = base_report.get("service_loadgen", {}) \
+                             .get("error_types", {})
+    for bucket in ("TimeoutObserved", "Retried", "ServiceTimeout"):
+        fresh_n = fresh_errors.get(bucket, 0)
+        base_n = base_errors.get(bucket, 0)
+        if fresh_n <= base_n:
+            continue
+        flag = "  REGRESSION (retry storm)"
+        regressions.append(f"service_loadgen.error_types[{bucket}]")
+        print(f"{f'loadgen {bucket}':30s} {base_n:10d} "
+              f"{fresh_n:10d}        {flag}")
+
     # cold start warns on slower restores (higher wall time is worse,
     # like the latency benchmarks; diffed separately because the point
     # lives in its own results block, not under "benchmarks")

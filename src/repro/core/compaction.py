@@ -757,11 +757,18 @@ class CompactionManager:
             return None
         return f"step {job.steps_run}: {job.phase}"
 
-    def abort_all(self) -> None:
-        """Discard every in-flight job (full re-provision path)."""
+    def abort_all(self) -> List[str]:
+        """Discard every in-flight job (re-provision and crash paths).
+
+        Returns the aborted tables; all job writes went to shadow
+        files, so aborting frees them and leaves the live structures
+        untouched (abort-and-restart is the compaction crash contract).
+        """
+        aborted = sorted(self._jobs)
         for job in self._jobs.values():
             job.abort()
         self._jobs.clear()
+        return aborted
 
     def status(self) -> Dict[str, TableCompactionStatus]:
         """Per-table foldable debt + advisor verdicts, schema order."""

@@ -70,6 +70,8 @@ from repro.core.operators import ExecContext
 from repro.core.plan import ProjectionMode, QueryPlan, VisPlan
 from repro.core.planner import Planner, SortMethodLike, StrategyLike
 from repro.core.project import ProjectionExecutor
+from repro.core.recovery import (IdempotencyLedger, RecoveryReport,
+                                 StatementJournal)
 from repro.core.reference import ReferenceEngine
 from repro.core.session import BatchResult, PreparedStatement, Session
 from repro.core.sort import (OrderByExecutor, dedup_rows, sort_projections,
@@ -125,6 +127,13 @@ class GhostDB:
         self._sessions: "weakref.WeakSet[Session]" = weakref.WeakSet()
         self._default_session: Optional[Session] = None
         self._generation = 0
+        # exactly-once DML: the service writer lane records responses
+        # here under client idempotency keys (persisted in snapshots)
+        self.ikeys = IdempotencyLedger()
+        # the last statement's undo journal: armed (uncommitted) when a
+        # DML crashed mid-flight, committed otherwise -- recover()
+        # rolls back the former, the fleet's abort path the latter
+        self._journal: Optional[StatementJournal] = None
 
     # ------------------------------------------------------------------
     # the unified statement entry point
@@ -206,17 +215,34 @@ class GhostDB:
 
     def _run_dml(self, bound: Union[BoundInsert, BoundDelete]
                  ) -> DmlResult:
-        """Apply one DML statement inside a per-statement cost window."""
+        """Apply one DML statement inside a per-statement cost window.
+
+        A :class:`StatementJournal` is armed around the mutation: if
+        the statement dies mid-flight (power loss, out of space) the
+        journal stays uncommitted and :meth:`recover` rolls the token
+        back to its pre-statement state; on success the committed
+        journal is kept until the next statement so a fleet-level abort
+        can still undo this shard (:meth:`undo_last_dml`).
+        """
         before = self.token.ledger.snapshot()
         ch = self.token.channel.stats
         in_before, out_before = ch.bytes_to_secure, ch.bytes_to_untrusted
-        with self.token.ram.query_window() as window:
-            if isinstance(bound, BoundInsert):
-                statement = "insert"
-                affected = self._dml.insert(bound)
-            else:
-                statement = "delete"
-                affected = self._dml.delete(bound)
+        journal = StatementJournal(self, bound.table)
+        try:
+            with self.token.ram.query_window() as window:
+                if isinstance(bound, BoundInsert):
+                    statement = "insert"
+                    affected = self._dml.insert(bound)
+                else:
+                    statement = "delete"
+                    affected = self._dml.delete(bound)
+        except BaseException:
+            journal.detach()
+            self._journal = journal  # uncommitted: recover() rolls back
+            raise
+        journal.detach()
+        journal.committed = True
+        self._journal = journal
         stats = self._stats_between(before, self.token.ledger.snapshot(),
                                     rows=())
         stats.bytes_to_secure = ch.bytes_to_secure - in_before
@@ -768,6 +794,57 @@ class GhostDB:
             return restore_fleet(path, verify=verify)
         from repro.persist.image import restore_db
         return restore_db(path, verify=verify)
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveryReport:
+        """Bring the token back to a consistent state after a fault.
+
+        Idempotent, milliseconds: power-cycles the NAND (clears the
+        power-loss latch), aborts any in-flight compaction jobs (their
+        writes went to shadow files; abort-and-restart is the
+        compaction crash contract), rolls back an uncommitted DML
+        statement via its :class:`StatementJournal`, runs the
+        checksum recovery scan over every mapped page, and drops the
+        page cache (host-side only; cached bytes may predate the
+        fault).  Returns a :class:`RecoveryReport` of what was done.
+        """
+        self._require_built()
+        report = RecoveryReport()
+        if self.token.nand.failed:
+            report.power_cycled = True
+            self.token.nand.power_on()
+            # volatile RAM does not survive the reboot: reclaim any
+            # buffers the interrupted statement left allocated
+            self.token.ram.power_cycle()
+        self.token.store.journal = None
+        if self._compactor is not None:
+            report.compactions_aborted = self._compactor.abort_all()
+        journal = self._journal
+        if journal is not None and not journal.committed:
+            journal.rollback()
+            report.rolled_back_table = journal.table
+            self._journal = None
+        report.corrupt_pages = self.token.ftl.scan_mapped()
+        self.token.store.page_cache.clear()
+        return report
+
+    def undo_last_dml(self) -> Optional[str]:
+        """Roll back the last *committed* DML statement, if undoable.
+
+        The fleet's two-phase abort path: when a sibling shard dies
+        mid-statement, every shard that already applied its slice is
+        rolled back so the whole fleet lands at its pre-statement
+        generations.  Returns the rolled-back table name, or ``None``
+        when there is nothing to undo.
+        """
+        journal = self._journal
+        if journal is None or journal.rolled_back:
+            return None
+        journal.rollback()
+        self._journal = None
+        return journal.table
 
     # ------------------------------------------------------------------
     # oracle, audit, reports

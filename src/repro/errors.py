@@ -27,6 +27,34 @@ class BadAddressError(FlashError):
     """A physical or logical address is out of range or unmapped."""
 
 
+class PowerLoss(FlashError):
+    """The token lost power mid-operation (injected fault).
+
+    Raised by the fault-injection layer at a chosen write ordinal and
+    latched by :class:`~repro.flash.nand.NandFlash` until
+    ``power_on()`` is called: every flash program/read after the cut
+    fails the same way, exactly as a dead token would behave.  The
+    optional ``partial`` payload is the prefix of the interrupted
+    page program that reached the array -- the torn write the per-page
+    checksums must detect on recovery.
+    """
+
+    def __init__(self, message: str = "power loss", partial: bytes | None = None):
+        super().__init__(message)
+        self.partial = partial
+
+
+class FlashCorruption(FlashError):
+    """A page read failed its checksum even after retries.
+
+    Transient bit-flips are healed by the NAND-internal read retry
+    (modelling the controller's ECC retry path); a *persistent*
+    mismatch means a torn write or corrupted image blob and surfaces
+    as this error so recovery can quarantine the page instead of
+    serving silent garbage.
+    """
+
+
 class RamExhausted(GhostDBError):
     """An operator asked for more secure RAM than is available.
 
@@ -99,6 +127,25 @@ class PersistError(GhostDBError):
 class ImageError(PersistError):
     """The durable image file is unreadable: wrong magic/version, torn
     or truncated write, or a checksum mismatch."""
+
+
+class ShardDown(GhostDBError):
+    """A fleet token crashed or was killed (injected fault).
+
+    Raised by the fleet fault injector when a statement touches a
+    shard scheduled to die; :class:`~repro.shard.fleet.ShardedGhostDB`
+    converts it into :class:`ShardUnavailable` and marks the shard
+    down.
+    """
+
+
+class ShardUnavailable(GhostDBError):
+    """A statement needed a shard that is marked down.
+
+    The fleet fails the statement cleanly (naming the dead shard)
+    instead of hanging, and leaves every live shard at its
+    pre-statement generations.
+    """
 
 
 class StorageError(GhostDBError):

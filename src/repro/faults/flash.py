@@ -1,0 +1,82 @@
+"""Flash-layer fault injection: power cuts, torn writes, bit-flips.
+
+Attached to a :class:`~repro.flash.nand.NandFlash` as its
+``fault_hook``, the injector sees every page program and read.  A
+*power cut* at program ordinal ``cut_at_program`` interrupts that very
+program: a seeded prefix of the payload reaches the array (the torn
+write), the device latches dead, and :class:`~repro.errors.PowerLoss`
+propagates out of whatever statement was running.  *Read bit-flips*
+are transient -- they mangle one attempt and vanish on the NAND's
+internal retry, modelling the controller's ECC retry path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import PowerLoss
+from repro.flash.nand import NandFlash
+
+
+class FlashFaults:
+    """Seeded fault schedule over one NAND array.
+
+    ``cut_at_program=K`` cuts power during the K-th page program seen
+    by this injector (0-based); ``flip_read_every=N`` (N >= 2) flips
+    one seeded bit on every N-th read attempt.  Counters
+    (``programs``, ``reads``, ``cuts``, ``flips``) record what was
+    injected.
+    """
+
+    def __init__(self, nand: NandFlash, seed: int = 0,
+                 cut_at_program: Optional[int] = None,
+                 flip_read_every: Optional[int] = None):
+        if flip_read_every is not None and flip_read_every < 2:
+            raise ValueError(
+                "flip_read_every must be >= 2: consecutive retry "
+                "attempts of one read must not all flip, or the flip "
+                "is persistent, not transient"
+            )
+        self.nand = nand
+        self.rng = random.Random(seed)
+        self.cut_at_program = cut_at_program
+        self.flip_read_every = flip_read_every
+        self.programs = 0
+        self.reads = 0
+        self.cuts = 0
+        self.flips = 0
+
+    def attach(self) -> "FlashFaults":
+        """Install this schedule as the array's fault hook."""
+        self.nand.fault_hook = self
+        return self
+
+    def detach(self) -> None:
+        """Remove the hook (always do this before recovery)."""
+        if self.nand.fault_hook is self:
+            self.nand.fault_hook = None
+
+    def __call__(self, op: str, ppn: int, data: bytes) -> bytes:
+        if op == "program":
+            ordinal = self.programs
+            self.programs += 1
+            if (self.cut_at_program is not None
+                    and ordinal >= self.cut_at_program):
+                self.cuts += 1
+                cut = self.rng.randrange(len(data) + 1) if data else 0
+                raise PowerLoss(
+                    f"power cut during program #{ordinal} of page {ppn}",
+                    partial=data[:cut],
+                )
+            return data
+        # read attempt
+        self.reads += 1
+        if (self.flip_read_every is not None and data
+                and self.reads % self.flip_read_every == 0):
+            self.flips += 1
+            flipped = bytearray(data)
+            bit = self.rng.randrange(len(flipped) * 8)
+            flipped[bit // 8] ^= 1 << (bit % 8)
+            return bytes(flipped)
+        return data

@@ -1,0 +1,61 @@
+"""Wire-layer fault injection: drops, truncated frames, stalled peers.
+
+Attached to a :class:`~repro.service.server.GhostServer` as
+``wire_faults``; the server passes it to
+:func:`repro.service.protocol.write_frame` on every response, so the
+injector can drop the connection instead of answering, write half a
+frame and hang up, or stall long enough for the client's
+``timeout_s`` to fire.  All three look identical to a client: the
+request may or may not have been applied -- exactly the ambiguity the
+idempotency-key retry contract resolves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Optional
+
+
+class WireFaults:
+    """Deterministic frame-fault schedule for one server.
+
+    Every ``drop_every``-th / ``truncate_every``-th /
+    ``stall_every``-th outbound frame (1-based counting per knob) is
+    dropped / truncated / stalled by ``stall_s`` seconds.  Counters
+    (``frames``, ``dropped``, ``truncated``, ``stalled``) record the
+    injections.
+    """
+
+    def __init__(self, drop_every: Optional[int] = None,
+                 truncate_every: Optional[int] = None,
+                 stall_every: Optional[int] = None,
+                 stall_s: float = 0.5):
+        self.drop_every = drop_every
+        self.truncate_every = truncate_every
+        self.stall_every = stall_every
+        self.stall_s = stall_s
+        self.frames = 0
+        self.dropped = 0
+        self.truncated = 0
+        self.stalled = 0
+
+    async def __call__(self, writer: asyncio.StreamWriter,
+                       frame: bytes) -> Optional[bytes]:
+        self.frames += 1
+        n = self.frames
+        if self.drop_every is not None and n % self.drop_every == 0:
+            self.dropped += 1
+            writer.close()
+            return None
+        if self.truncate_every is not None and n % self.truncate_every == 0:
+            self.truncated += 1
+            writer.write(frame[:max(1, len(frame) // 2)])
+            with contextlib.suppress(Exception):
+                await writer.drain()
+            writer.close()
+            return None
+        if self.stall_every is not None and n % self.stall_every == 0:
+            self.stalled += 1
+            await asyncio.sleep(self.stall_s)
+        return frame

@@ -71,13 +71,22 @@ class Ftl:
     # data path
     # ------------------------------------------------------------------
     def write(self, lpn: int, data: bytes) -> None:
-        """(Re)write logical page ``lpn`` with ``data``, out of place."""
+        """(Re)write logical page ``lpn`` with ``data``, out of place.
+
+        Crash-safe ordering: the new physical page is programmed
+        *before* the old one is invalidated or the mapping updated, so
+        a power loss mid-program leaves the logical page still mapped
+        to its previous, intact payload -- the torn page is unmapped
+        garbage the next GC erases.  The old mapping is re-read after
+        the claim because claiming may trigger GC, which can relocate
+        the very page we are about to invalidate.
+        """
         self._check_lpn(lpn)
+        ppn = self._claim_physical_page()
+        self.nand.program_page(ppn, data)
         old = self._l2p[lpn]
         if old != _UNMAPPED:
             self._invalidate(old)
-        ppn = self._claim_physical_page()
-        self.nand.program_page(ppn, data)
         self._l2p[lpn] = ppn
         self._p2l[ppn] = lpn
         self.ledger.charge(
@@ -146,6 +155,26 @@ class Ftl:
             self._invalidate(ppn)
             self._l2p[lpn] = _UNMAPPED
         self._free_lpns.append(lpn)
+
+    def scan_mapped(self) -> list[tuple[int, int]]:
+        """Recovery scan: checksum-verify every mapped page.
+
+        Walks the physical->logical map reading each page through the
+        NAND's verified path and returns ``[(lpn, ppn)]`` for pages
+        whose checksum failed persistently.  An uncharged maintenance
+        pass (the simulated controller runs it below the FTL's cost
+        accounting); with crash-safe write ordering the scan comes back
+        empty after any power loss -- torn pages are never mapped.
+        """
+        from repro.errors import FlashCorruption
+
+        corrupt: list[tuple[int, int]] = []
+        for ppn in sorted(self._p2l):
+            try:
+                self.nand.read_page(ppn)
+            except FlashCorruption:
+                corrupt.append((self._p2l[ppn], ppn))
+        return corrupt
 
     # ------------------------------------------------------------------
     # occupancy

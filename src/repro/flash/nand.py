@@ -9,16 +9,34 @@ Models the physical constraints that shape everything above it:
 The FTL (:mod:`repro.flash.ftl`) builds a rewritable logical page space
 on top of these constraints; user code never touches this module
 directly.
+
+Fault model (PR 10): every page program records a CRC32 of the
+*intended* payload in a spare-area dict, and every read verifies it.
+An optional ``fault_hook`` lets the fault-injection layer
+(:mod:`repro.faults.flash`) mangle payloads in flight -- torn writes,
+read bit-flips -- or raise :class:`~repro.errors.PowerLoss` at a chosen
+write ordinal.  A power loss latches the device dead (``failed``)
+until :meth:`power_on`; a torn program stores whatever prefix reached
+the array while keeping the intended CRC, so the next read detects the
+tear instead of serving silent garbage.  Transient read flips are
+healed by a bounded internal retry (the controller's ECC retry path);
+a persistent mismatch surfaces as :class:`~repro.errors.FlashCorruption`.
 """
 
 from __future__ import annotations
 
-from repro.errors import BadAddressError, ProgramError
+import zlib
+from typing import Callable, Optional
+
+from repro.errors import BadAddressError, FlashCorruption, PowerLoss, ProgramError
 from repro.flash.constants import FlashParams
 
 #: page states
 ERASED = 0
 PROGRAMMED = 1
+
+#: bounded internal read retry -- transient bit-flips vanish on re-read
+READ_RETRIES = 3
 
 
 class NandFlash:
@@ -30,11 +48,22 @@ class NandFlash:
         self._state = bytearray(self.n_pages)  # ERASED / PROGRAMMED
         self._data: dict[int, bytes] = {}
         self.erase_counts = [0] * params.n_blocks
+        # spare area: ppn -> CRC32 of the *intended* payload, written
+        # atomically with the program in the model (the real spare area
+        # is programmed in the same page-program operation)
+        self._spare: dict[int, int] = {}
         # lazy backing store (durable-image restore): ppn -> (offset,
         # length) into _backing_buf; payloads materialize into _data on
         # first read, so restore never touches cold pages
         self._backing: dict[int, tuple[int, int]] = {}
         self._backing_buf = None
+        # fault injection: callable(op, ppn, data) -> data, may raise
+        # PowerLoss; None in production
+        self.fault_hook: Optional[Callable[[str, int, bytes], bytes]] = None
+        #: latched after a power loss until power_on()
+        self.failed = False
+        #: reads healed by the internal retry loop (visible to tests)
+        self.read_retries = 0
 
     def attach_backing(self, buf, mapping: dict[int, tuple[int, int]]) -> None:
         """Serve unread page payloads lazily out of ``buf``.
@@ -48,6 +77,10 @@ class NandFlash:
         """
         self._backing_buf = buf
         self._backing = dict(mapping)
+
+    def power_on(self) -> None:
+        """Clear the power-loss latch; the array accepts I/O again."""
+        self.failed = False
 
     # ------------------------------------------------------------------
     # address helpers
@@ -76,6 +109,8 @@ class NandFlash:
     def program_page(self, ppn: int, data: bytes) -> None:
         """Program one page.  Raises if the page was not erased first."""
         self._check_ppn(ppn)
+        if self.failed:
+            raise PowerLoss("token is powered off")
         if self._state[ppn] != ERASED:
             raise ProgramError(f"page {ppn} programmed twice without erase")
         if len(data) > self.params.page_size:
@@ -83,12 +118,36 @@ class NandFlash:
                 f"payload of {len(data)} bytes exceeds page size "
                 f"{self.params.page_size}"
             )
+        intended = bytes(data)
+        stored = intended
+        if self.fault_hook is not None:
+            try:
+                stored = self.fault_hook("program", ppn, intended)
+            except PowerLoss as exc:
+                # the cut interrupted this very program: whatever prefix
+                # reached the array is stored against the *intended*
+                # CRC -- the torn write the read path must detect
+                if exc.partial is not None:
+                    self._state[ppn] = PROGRAMMED
+                    self._data[ppn] = bytes(exc.partial)
+                    self._spare[ppn] = zlib.crc32(intended)
+                self.failed = True
+                raise
         self._state[ppn] = PROGRAMMED
-        self._data[ppn] = bytes(data)
+        self._data[ppn] = bytes(stored)
+        self._spare[ppn] = zlib.crc32(intended)
 
     def read_page(self, ppn: int) -> bytes:
-        """Return the content of one page (empty pages read as b'')."""
+        """Return the content of one page (empty pages read as b'').
+
+        Verifies the spare-area CRC when one exists; transient faults
+        injected by ``fault_hook`` are retried up to ``READ_RETRIES``
+        times before a persistent mismatch raises
+        :class:`FlashCorruption`.
+        """
         self._check_ppn(ppn)
+        if self.failed:
+            raise PowerLoss("token is powered off")
         data = self._data.get(ppn)
         if data is None and self._backing:
             entry = self._backing.pop(ppn, None)
@@ -96,7 +155,20 @@ class NandFlash:
                 offset, length = entry
                 data = bytes(self._backing_buf[offset:offset + length])
                 self._data[ppn] = data
-        return data if data is not None else b""
+        if data is None:
+            return b""
+        expect = self._spare.get(ppn)
+        for attempt in range(READ_RETRIES):
+            out = data
+            if self.fault_hook is not None:
+                out = self.fault_hook("read", ppn, data)
+            if expect is None or zlib.crc32(out) == expect:
+                return out
+            self.read_retries += 1
+        raise FlashCorruption(
+            f"page {ppn} failed checksum after {READ_RETRIES} reads "
+            f"(torn write or corrupt image)"
+        )
 
     def erase_block(self, block: int) -> None:
         """Erase every page of ``block`` and bump its wear counter."""
@@ -106,6 +178,7 @@ class NandFlash:
         for ppn in self.pages_of_block(block):
             self._state[ppn] = ERASED
             self._data.pop(ppn, None)
+            self._spare.pop(ppn, None)
             if backing:
                 backing.pop(ppn, None)
         self.erase_counts[block] += 1

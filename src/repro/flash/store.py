@@ -116,6 +116,9 @@ class FlashFile:
         self._store.page_cache.put(lpn, data)
         self._lpns.append(lpn)
         self._page_fill.append(len(data))
+        journal = self._store.journal
+        if journal is not None:
+            journal.note_append(self)
         return len(self._lpns) - 1
 
     def write_page(self, index: int, data: bytes) -> None:
@@ -123,9 +126,25 @@ class FlashFile:
         self._check_open()
         self._check_index(index)
         data = bytes(data)
+        journal = self._store.journal
+        old = self._store.ftl.peek(self._lpns[index]) if journal is not None else None
         self._store.ftl.write(self._lpns[index], data)
         self._store.page_cache.put(self._lpns[index], data)
         self._page_fill[index] = len(data)
+        if journal is not None:
+            journal.note_rewrite(self, index, old)
+
+    def truncate_last(self) -> None:
+        """Drop the file's last page (statement-journal rollback path)."""
+        self._check_open()
+        if not self._lpns:
+            raise BadAddressError(
+                f"truncate_last on empty flash file {self.name!r}"
+            )
+        lpn = self._lpns.pop()
+        self._page_fill.pop()
+        self._store.ftl.trim(lpn)
+        self._store.page_cache.invalidate(lpn)
 
     def read_page(self, index: int, nbytes: Optional[int] = None,
                   offset: int = 0) -> bytes:
@@ -187,6 +206,10 @@ class FlashStore:
         self.page_cache = PageCache(page_cache_capacity)
         self._files: Dict[str, FlashFile] = {}
         self._temp_ids = itertools.count()
+        # armed StatementJournal (repro.core.recovery) during a DML
+        # statement; None otherwise -- files notify it after every
+        # successful mutation so a crashed statement can be rolled back
+        self.journal = None
 
     def create(self, name: str) -> FlashFile:
         """Create a new, empty file called ``name``."""
@@ -194,6 +217,8 @@ class FlashStore:
             raise StorageError(f"flash file {name!r} already exists")
         f = FlashFile(self, name)
         self._files[name] = f
+        if self.journal is not None:
+            self.journal.note_create(f)
         return f
 
     def get(self, name: str) -> FlashFile:

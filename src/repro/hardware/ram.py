@@ -156,6 +156,7 @@ class Allocation:
             self.freed = True
             self.ram._release(self.nbytes)
             self.ram.live_allocations = max(0, self.ram.live_allocations - 1)
+            self.ram._live.discard(self)
 
     def resize(self, nbytes: int) -> None:
         """Grow or shrink the allocation in place."""
@@ -186,6 +187,11 @@ class SecureRam:
         self.used = 0
         self.peak_used = 0
         self.live_allocations = 0
+        #: registry of outstanding allocations so a power cycle can
+        #: reclaim buffers stranded by a mid-statement crash (strong
+        #: references: a stranded buffer must stay reclaimable even
+        #: after its owning operator is garbage-collected)
+        self._live: "set[Allocation]" = set()
 
     # ------------------------------------------------------------------
     @property
@@ -207,7 +213,9 @@ class SecureRam:
         """Claim ``nbytes``; raises :class:`RamExhausted` when over budget."""
         self._acquire(nbytes, label)
         self.live_allocations += 1
-        return Allocation(self, nbytes, label)
+        allocation = Allocation(self, nbytes, label)
+        self._live.add(allocation)
+        return allocation
 
     def alloc_buffer(self, label: str = "") -> Allocation:
         """Claim one page-sized I/O buffer."""
@@ -280,6 +288,21 @@ class SecureRam:
         old = self.peak_used
         self.peak_used = self.used
         return old
+
+    def power_cycle(self) -> int:
+        """Reboot semantics: volatile RAM does not survive power loss.
+
+        An operator interrupted by a crash never reaches its own
+        ``free()`` calls, but on the real device the buffers are gone
+        the instant power drops.  Frees every outstanding allocation
+        and returns the number of bytes reclaimed.
+        """
+        reclaimed = 0
+        for allocation in list(self._live):
+            if not allocation.freed:
+                reclaimed += allocation.nbytes
+                allocation.free()
+        return reclaimed
 
     def assert_all_freed(self) -> None:
         """Test hook: verify no operator leaked RAM."""

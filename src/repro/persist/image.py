@@ -67,7 +67,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle with ghostdb
     from repro.core.ghostdb import GhostDB
 
 IMAGE_MAGIC = b"GHOSTIMG"
-IMAGE_VERSION = 1
+IMAGE_VERSION = 2
 
 #: magic | version | meta_len | blob_len | total_size | sha(meta) | sha(blob)
 _HEADER = struct.Struct("!8sIQQQ32s32s")
@@ -179,11 +179,17 @@ def snapshot_db(db: "GhostDB", path: str) -> Dict[str, Any]:
     # through to the mmap backing, so re-snapshotting a restored
     # database works without materializing cold pages... page by page.
     blob_parts: List[bytes] = []
-    page_dir = array("q")           # flattened (ppn, offset, length) triples
+    # flattened (ppn, offset, length, crc) quadruples; the crc is the
+    # page's spare-area checksum so a restored token keeps detecting
+    # torn writes that predate the snapshot
+    page_dir = array("q")
     offset = 0
     for ppn in sorted(ftl._p2l):
         payload = nand.read_page(ppn)
-        page_dir.extend((ppn, offset, len(payload)))
+        crc = nand._spare.get(ppn)
+        if crc is None:
+            crc = zlib.crc32(payload)
+        page_dir.extend((ppn, offset, len(payload), crc))
         blob_parts.append(payload)
         offset += len(payload)
     blob = b"".join(blob_parts)
@@ -238,6 +244,8 @@ def snapshot_db(db: "GhostDB", path: str) -> Dict[str, Any]:
         # shadow-file suffix counter: persisted so post-restore
         # compaction never reuses a ~cN tag already live in the store
         "compactor_seq": db._compactor._seq,
+        # exactly-once retry contract survives restore
+        "ikeys": db.ikeys.to_meta(),
     }
     meta_bytes = zlib.compress(pickle.dumps(meta, protocol=4), 6)
 
@@ -259,7 +267,7 @@ def snapshot_db(db: "GhostDB", path: str) -> Dict[str, Any]:
         "bytes": total_size,
         "meta_bytes": len(meta_bytes),
         "blob_bytes": len(blob),
-        "pages": len(page_dir) // 3,
+        "pages": len(page_dir) // 4,
         "files": len(meta["files"]),
     }
 
@@ -391,8 +399,11 @@ def restore_db(path: str, verify: bool = False) -> "GhostDB":
     """
     from repro.core.ghostdb import GhostDB
 
-    size = os.path.getsize(path)
-    fh = open(path, "rb")
+    try:
+        size = os.path.getsize(path)
+        fh = open(path, "rb")
+    except OSError as exc:
+        raise ImageError(f"cannot read image {path!r}: {exc}") from exc
     try:
         meta_len, blob_len, meta_sha, blob_sha = _read_header(
             fh.read(_HEADER.size), size
@@ -447,8 +458,12 @@ def restore_db(path: str, verify: bool = False) -> "GhostDB":
     nand.attach_backing(
         blob_view,
         {page_dir[i]: (page_dir[i + 1], page_dir[i + 2])
-         for i in range(0, len(page_dir), 3)},
+         for i in range(0, len(page_dir), 4)},
     )
+    # spare-area checksums: the restored token detects torn writes
+    # (and read disturbances) on pages written before the snapshot
+    nand._spare = {page_dir[i]: page_dir[i + 3]
+                   for i in range(0, len(page_dir), 4)}
 
     # --- FTL mapping (p2l falls out of l2p)
     ftl = token.ftl
@@ -490,4 +505,6 @@ def restore_db(path: str, verify: bool = False) -> "GhostDB":
     db._generation = meta["generation"]
     db._wire_engines()
     db._compactor._seq = meta["compactor_seq"]
+    from repro.core.recovery import IdempotencyLedger
+    db.ikeys = IdempotencyLedger.from_meta(meta.get("ikeys"))
     return db

@@ -14,18 +14,43 @@ Server-reported failures raise :class:`ServiceError`, which carries
 the server's ``error_type`` (the engine exception class name, e.g.
 ``CompactionDeclined`` or ``SnapshotError``) for callers that branch
 on it.
+
+Failure handling (PR 10): every request is bounded by ``timeout_s``
+and raises a clean :class:`ServiceTimeout` when the server goes quiet
+-- a dead server can no longer hang a client forever.  With
+``retries > 0`` the clients transparently reconnect and retry
+transport-level failures (timeouts, drops, torn frames) with
+exponential backoff.  Retried ``execute`` DML carries an *idempotency
+key*, generated once per logical statement and resent verbatim on
+every attempt; the server's writer lane records the response under
+that key, so a statement whose response was lost on the wire is
+answered from the record instead of being applied twice
+(exactly-once).  Only ``execute``, ``ping`` and ``server_stats`` are
+retried: prepared-statement ids are per-connection, and
+``compact``/``snapshot`` carry no idempotency key.
 """
 
 from __future__ import annotations
 
 import asyncio
 import socket
+import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import GhostDBError
-from repro.service.protocol import (read_frame, read_frame_sync,
+from repro.service.protocol import (FrameError, read_frame, read_frame_sync,
                                     write_frame, write_frame_sync)
+
+#: default per-request timeout (seconds)
+DEFAULT_TIMEOUT_S = 30.0
+
+#: default first-retry backoff; doubles per attempt
+DEFAULT_BACKOFF_S = 0.05
+
+#: server error_types worth retrying (transport ambiguity, not logic)
+_RETRYABLE_TYPES = frozenset({"ConnectionLost", "PowerLoss"})
 
 
 class ServiceError(GhostDBError):
@@ -34,6 +59,18 @@ class ServiceError(GhostDBError):
     def __init__(self, message: str, error_type: str = ""):
         super().__init__(message)
         self.error_type = error_type
+
+
+class ServiceTimeout(ServiceError):
+    """No response within ``timeout_s`` (dead or stalled server)."""
+
+    def __init__(self, message: str):
+        super().__init__(message, "ServiceTimeout")
+
+
+def _is_dml(sql: str) -> bool:
+    head = sql.lstrip()[:6].upper()
+    return head.startswith("INSERT") or head.startswith("DELETE")
 
 
 @dataclass
@@ -53,6 +90,12 @@ class ServiceResult:
     generations: Dict[str, Tuple[int, int]] = field(default_factory=dict)
     stats: Dict[str, Any] = field(default_factory=dict)
     raw: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def replayed(self) -> bool:
+        """Whether the server answered from its idempotency record
+        (an earlier attempt of this statement already applied)."""
+        return bool(self.raw.get("replayed"))
 
     @classmethod
     def from_response(cls, response: dict) -> "ServiceResult":
@@ -80,12 +123,30 @@ def _check(response: Optional[dict]) -> dict:
     return response
 
 
+def _retryable(exc: Exception) -> bool:
+    if isinstance(exc, ServiceTimeout):
+        return True
+    if isinstance(exc, ServiceError):
+        return exc.error_type in _RETRYABLE_TYPES
+    return isinstance(exc, (FrameError, ConnectionError, OSError))
+
+
 class GhostClient:
     """Blocking client: connect, request, response, repeat."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(self, host: str, port: int, timeout: float = DEFAULT_TIMEOUT_S,
+                 timeout_s: Optional[float] = None, retries: int = 0,
+                 backoff_s: float = DEFAULT_BACKOFF_S):
+        self._host = host
+        self._port = port
+        self.timeout_s = timeout if timeout_s is None else timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.timeouts_total = 0
+        self.retries_total = 0
+        self._desynced = False
         self._sock = socket.create_connection((host, port),
-                                              timeout=timeout)
+                                              timeout=self.timeout_s)
         self._next_id = 1
 
     def close(self) -> None:
@@ -97,19 +158,72 @@ class GhostClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def reconnect(self) -> None:
+        """Drop the connection and open a fresh one."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self.timeout_s)
+        self._desynced = False
+
     # ------------------------------------------------------------------
     def _call(self, payload: dict) -> dict:
-        payload["id"] = self._next_id
+        if self._desynced:
+            # a timed-out request may still be answered later; its
+            # response would be matched to the wrong call on this
+            # socket, so start clean
+            self.reconnect()
+        request = dict(payload)
+        request["id"] = self._next_id
         self._next_id += 1
-        write_frame_sync(self._sock, payload)
-        return _check(read_frame_sync(self._sock))
+        try:
+            write_frame_sync(self._sock, request)
+            return _check(read_frame_sync(self._sock))
+        except socket.timeout:
+            self.timeouts_total += 1
+            self._desynced = True
+            raise ServiceTimeout(
+                f"no response within {self.timeout_s}s"
+            ) from None
+
+    def _call_with_retries(self, payload: dict) -> dict:
+        attempts = max(0, self.retries) + 1
+        delay = self.backoff_s
+        last: Optional[Exception] = None
+        for i in range(attempts):
+            if i:
+                self.retries_total += 1
+                time.sleep(delay)
+                delay *= 2
+                try:
+                    self.reconnect()
+                except OSError as exc:
+                    last = exc
+                    continue
+            try:
+                return self._call(payload)
+            except (ServiceError, FrameError, ConnectionError,
+                    OSError) as exc:
+                if not _retryable(exc):
+                    raise
+                last = exc
+        raise last
 
     def execute(self, sql: str,
                 params: Optional[Sequence] = None) -> ServiceResult:
-        """Run one statement of any supported kind."""
-        return ServiceResult.from_response(self._call(
-            {"op": "execute", "sql": sql,
-             "params": list(params) if params else None}))
+        """Run one statement of any supported kind.
+
+        DML statements carry an idempotency key, generated once per
+        call and reused across retries: however many times the request
+        is resent, the server applies the statement exactly once.
+        """
+        payload = {"op": "execute", "sql": sql,
+                   "params": list(params) if params else None}
+        if _is_dml(sql):
+            payload["ikey"] = uuid.uuid4().hex
+        return ServiceResult.from_response(self._call_with_retries(payload))
 
     def prepare(self, sql: str) -> int:
         """Prepare a SELECT template; returns the statement id."""
@@ -133,46 +247,74 @@ class GhostClient:
 
     def server_stats(self) -> Dict[str, Any]:
         """The server's counter snapshot (admission, service, cache)."""
-        return self._call({"op": "stats"})
+        return self._call_with_retries({"op": "stats"})
 
     def ping(self) -> bool:
         """Liveness probe."""
-        return self._call({"op": "ping"})["kind"] == "pong"
+        return self._call_with_retries({"op": "ping"})["kind"] == "pong"
 
 
 class AsyncGhostClient:
     """Pipelining asyncio client: concurrent requests, one connection."""
 
     def __init__(self) -> None:
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._pending: Dict[int, "asyncio.Future[dict]"] = {}
         self._next_id = 1
         self._reader_task: Optional[asyncio.Task] = None
         self._write_lock = asyncio.Lock()
+        self.timeout_s: Optional[float] = DEFAULT_TIMEOUT_S
+        self.retries = 0
+        self.backoff_s = DEFAULT_BACKOFF_S
+        self.timeouts_total = 0
+        self.retries_total = 0
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "AsyncGhostClient":
+    async def connect(cls, host: str, port: int,
+                      timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
+                      retries: int = 0,
+                      backoff_s: float = DEFAULT_BACKOFF_S
+                      ) -> "AsyncGhostClient":
         client = cls()
-        client._reader, client._writer = await asyncio.open_connection(
-            host, port)
-        client._reader_task = asyncio.ensure_future(client._read_loop())
+        client._host, client._port = host, port
+        client.timeout_s = timeout_s
+        client.retries = retries
+        client.backoff_s = backoff_s
+        await client._open()
         return client
 
-    async def close(self) -> None:
+    async def _open(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port)
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def _teardown(self, why: str) -> None:
         if self._reader_task is not None:
             self._reader_task.cancel()
             try:
                 await self._reader_task
             except asyncio.CancelledError:
                 pass
+            self._reader_task = None
         if self._writer is not None:
             self._writer.close()
             try:
                 await self._writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
-        self._fail_pending("connection closed")
+            self._writer = None
+        self._fail_pending(why)
+
+    async def reconnect(self) -> None:
+        """Drop the connection (failing in-flight calls) and redial."""
+        await self._teardown("reconnecting")
+        await self._open()
+
+    async def close(self) -> None:
+        await self._teardown("connection closed")
 
     async def __aenter__(self) -> "AsyncGhostClient":
         return self
@@ -190,6 +332,10 @@ class AsyncGhostClient:
                 future = self._pending.pop(response.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(response)
+        except (FrameError, ConnectionError, OSError):
+            # a truncated frame or dropped connection ends the loop;
+            # pending calls fail as ConnectionLost and may be retried
+            pass
         finally:
             self._fail_pending("server closed the connection")
 
@@ -202,19 +348,60 @@ class AsyncGhostClient:
     async def _call(self, payload: dict) -> dict:
         req_id = self._next_id
         self._next_id += 1
-        payload["id"] = req_id
+        request = dict(payload)
+        request["id"] = req_id
         future = asyncio.get_running_loop().create_future()
         self._pending[req_id] = future
         async with self._write_lock:
-            await write_frame(self._writer, payload)
-        return _check(await future)
+            await write_frame(self._writer, request)
+        if self.timeout_s is None:
+            return _check(await future)
+        try:
+            return _check(await asyncio.wait_for(future, self.timeout_s))
+        except asyncio.TimeoutError:
+            self._pending.pop(req_id, None)
+            self.timeouts_total += 1
+            raise ServiceTimeout(
+                f"no response within {self.timeout_s}s"
+            ) from None
+
+    async def _call_with_retries(self, payload: dict) -> dict:
+        attempts = max(0, self.retries) + 1
+        delay = self.backoff_s
+        last: Optional[Exception] = None
+        for i in range(attempts):
+            if i:
+                self.retries_total += 1
+                await asyncio.sleep(delay)
+                delay *= 2
+                try:
+                    await self.reconnect()
+                except OSError as exc:
+                    last = exc
+                    continue
+            try:
+                return await self._call(payload)
+            except (ServiceError, FrameError, ConnectionError,
+                    OSError) as exc:
+                if not _retryable(exc):
+                    raise
+                last = exc
+        raise last
 
     async def execute(self, sql: str,
                       params: Optional[Sequence] = None) -> ServiceResult:
-        """Run one statement of any supported kind."""
-        return ServiceResult.from_response(await self._call(
-            {"op": "execute", "sql": sql,
-             "params": list(params) if params else None}))
+        """Run one statement of any supported kind.
+
+        DML statements carry an idempotency key (one per call, stable
+        across retries): the server applies each statement exactly
+        once however often the request is resent.
+        """
+        payload = {"op": "execute", "sql": sql,
+                   "params": list(params) if params else None}
+        if _is_dml(sql):
+            payload["ikey"] = uuid.uuid4().hex
+        return ServiceResult.from_response(
+            await self._call_with_retries(payload))
 
     async def prepare(self, sql: str) -> int:
         """Prepare a SELECT template; returns the statement id."""
@@ -238,8 +425,9 @@ class AsyncGhostClient:
 
     async def server_stats(self) -> Dict[str, Any]:
         """The server's counter snapshot (admission, service, cache)."""
-        return await self._call({"op": "stats"})
+        return await self._call_with_retries({"op": "stats"})
 
     async def ping(self) -> bool:
         """Liveness probe."""
-        return (await self._call({"op": "ping"}))["kind"] == "pong"
+        return (await self._call_with_retries({"op": "ping"}))["kind"] == \
+            "pong"

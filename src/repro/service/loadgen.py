@@ -108,8 +108,12 @@ def _error_bucket(exc: Exception) -> str:
 async def _client_run(host: str, port: int, templates: Sequence[str],
                       n_queries: int, rng: random.Random,
                       latencies_ms: List[float],
-                      error_types: Dict[str, int]) -> None:
-    async with await AsyncGhostClient.connect(host, port) as client:
+                      error_types: Dict[str, int],
+                      timeout_s: float, retries: int) -> None:
+    client = await AsyncGhostClient.connect(host, port,
+                                            timeout_s=timeout_s,
+                                            retries=retries)
+    async with client:
         stmts = [await client.prepare(t) for t in templates]
         for _ in range(n_queries):
             stmt = rng.choice(stmts)
@@ -124,17 +128,30 @@ async def _client_run(host: str, port: int, templates: Sequence[str],
             else:
                 latencies_ms.append(
                     (time.perf_counter() - t0) * 1e3)
+        # fold the client's transport counters into the error
+        # breakdown (distinct buckets from the terminal-failure ones:
+        # these count *observations*, including recovered retries, so
+        # a retry storm shows up even when every query succeeds)
+        if client.timeouts_total:
+            error_types["TimeoutObserved"] = (
+                error_types.get("TimeoutObserved", 0)
+                + client.timeouts_total)
+        if client.retries_total:
+            error_types["Retried"] = (
+                error_types.get("Retried", 0) + client.retries_total)
 
 
 async def _run(db: GhostDB, n_clients: int, n_queries: int, seed: int,
-               templates: Sequence[str]) -> LoadgenReport:
+               templates: Sequence[str], timeout_s: float,
+               retries: int) -> LoadgenReport:
     async with GhostServer(db) as server:
         latencies_ms: List[float] = []
         error_types: Dict[str, int] = {}
         t0 = time.perf_counter()
         await asyncio.gather(*[
             _client_run(server.host, server.port, templates, n_queries,
-                        random.Random(seed + i), latencies_ms, error_types)
+                        random.Random(seed + i), latencies_ms, error_types,
+                        timeout_s, retries)
             for i in range(n_clients)
         ])
         wall_s = time.perf_counter() - t0
@@ -165,13 +182,19 @@ async def _run(db: GhostDB, n_clients: int, n_queries: int, seed: int,
 
 def run_loadgen(db: GhostDB, n_clients: int = 8, n_queries: int = 25,
                 seed: int = 7,
-                templates: Sequence[str] = DEFAULT_TEMPLATES
+                templates: Sequence[str] = DEFAULT_TEMPLATES,
+                timeout_s: float = 30.0, retries: int = 2
                 ) -> LoadgenReport:
     """Run the load generator against ``db`` and report throughput.
 
     ``n_queries`` is per client; the report counts completed queries
     across all clients.  Deterministic per ``seed`` in *which* queries
     run (wall-clock numbers vary with the machine, as any wall-clock
-    benchmark does).
+    benchmark does).  Clients run with a read ``timeout_s`` and
+    ``retries`` transport retries; observed timeouts and retry
+    attempts are folded into ``report.error_types`` under the
+    ``TimeoutObserved`` / ``Retried`` buckets so a retry storm is
+    visible even when every query eventually succeeds.
     """
-    return asyncio.run(_run(db, n_clients, n_queries, seed, templates))
+    return asyncio.run(_run(db, n_clients, n_queries, seed, templates,
+                            timeout_s, retries))

@@ -102,9 +102,21 @@ async def read_frame(reader) -> Optional[dict]:
     return decode_frame(body)
 
 
-async def write_frame(writer, payload: dict) -> None:
-    """Write one frame to an asyncio stream and drain."""
-    writer.write(encode_frame(payload))
+async def write_frame(writer, payload: dict, fault=None) -> None:
+    """Write one frame to an asyncio stream and drain.
+
+    ``fault`` is an optional async injector (see
+    :class:`repro.faults.wire.WireFaults`): it receives the encoded
+    frame and may drop it (return ``None``), truncate-and-hang-up, or
+    stall before returning it for normal delivery.  ``None`` (the
+    default, production) writes the frame untouched.
+    """
+    frame = encode_frame(payload)
+    if fault is not None:
+        frame = await fault(writer, frame)
+        if frame is None:
+            return
+    writer.write(frame)
     await writer.drain()
 
 

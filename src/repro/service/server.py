@@ -43,7 +43,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.core.ghostdb import GhostDB
 from repro.core.plan import QueryPlan
 from repro.core.session import PreparedStatement, Session
-from repro.errors import GhostDBError, SnapshotError
+from repro.errors import GhostDBError, PowerLoss, SnapshotError
 from repro.hardware.ram import SecureRam
 from repro.service.admission import AdmissionController
 from repro.service.protocol import FrameError, read_frame, write_frame
@@ -137,12 +137,15 @@ class GhostServer:
     """Serve one GhostDB to many concurrent wire clients."""
 
     def __init__(self, db: GhostDB, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0, wire_faults=None):
         db._require_built()
         self.db = db
         self.host = host
         self._requested_port = port
         self.admission = AdmissionController(db.token.ram)
+        #: optional response-path fault injector (chaos harness only;
+        #: see :class:`repro.faults.wire.WireFaults`)
+        self.wire_faults = wire_faults
         #: serializes all actual token access across worker threads
         self._exec_lock = threading.Lock()
         #: serializes DML and compaction (the single writer lane)
@@ -150,6 +153,10 @@ class GhostServer:
         self._writer_seq = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: set = set()
+        # every in-flight request task, across connections: stop()
+        # drains these before tearing connections down so a stop
+        # mid-write never drops a tagged writer_seq response
+        self._request_tasks: set = set()
         # service counters (the ``stats`` op)
         self.connections_total = 0
         self.connections_now = 0
@@ -157,6 +164,8 @@ class GhostServer:
         self.errors_total = 0
         self.snapshot_retries = 0
         self.claim_underruns = 0
+        self.replays = 0
+        self.recoveries = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -174,11 +183,25 @@ class GhostServer:
         return self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
-        """Stop accepting, drain connection handlers, close the socket."""
+        """Stop accepting, drain in-flight requests, close connections.
+
+        In-flight statements -- the writer lane's in particular -- run
+        to completion and their responses are written *before* any
+        connection is torn down: a stop mid-write must deliver the
+        tagged ``writer_seq`` response, not drop it.  The drain is
+        shielded so cancelling ``stop()`` itself cannot cut it short.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._request_tasks:
+            drain = asyncio.gather(*list(self._request_tasks),
+                                   return_exceptions=True)
+            try:
+                await asyncio.shield(drain)
+            except asyncio.CancelledError:
+                await drain
         for task in list(self._conn_tasks):
             task.cancel()
         if self._conn_tasks:
@@ -220,7 +243,9 @@ class GhostServer:
                 task = asyncio.ensure_future(
                     self._serve_request(conn, writer, request))
                 tasks.add(task)
+                self._request_tasks.add(task)
                 task.add_done_callback(tasks.discard)
+                task.add_done_callback(self._request_tasks.discard)
         except asyncio.CancelledError:
             # server stopping: finish like a client disconnect so the
             # task ends cleanly (asyncio's stream glue logs handler
@@ -229,7 +254,14 @@ class GhostServer:
         finally:
             self._conn_tasks.discard(asyncio.current_task())
             if tasks:
-                await asyncio.gather(*tasks, return_exceptions=True)
+                # shielded: a cancel delivered into this await must not
+                # skip the drain and close the writer under an
+                # in-flight response
+                drain = asyncio.gather(*tasks, return_exceptions=True)
+                try:
+                    await asyncio.shield(drain)
+                except asyncio.CancelledError:
+                    await drain
             self.connections_now -= 1
             writer.close()
             try:
@@ -259,7 +291,8 @@ class GhostServer:
         response["id"] = req_id
         async with conn.write_lock:
             try:
-                await write_frame(writer, response)
+                await write_frame(writer, response,
+                                  fault=self.wire_faults)
             except (ConnectionError, OSError):
                 pass   # client went away mid-response
 
@@ -312,7 +345,8 @@ class GhostServer:
                 "project", None, parsed)
             return await self._run_select(conn, stmt, params)
         return await self._run_write(
-            lambda: self.db.execute(sql, params or None))
+            lambda: self.db.execute(sql, params or None),
+            ikey=request.get("ikey"))
 
     async def _op_compact(self, request: dict) -> dict:
         table = request.get("table")
@@ -404,34 +438,58 @@ class GhostServer:
     # ------------------------------------------------------------------
     # the writer path: one lane, then admission, then the token
     # ------------------------------------------------------------------
-    async def _run_write(self, fn) -> dict:
+    async def _run_write(self, fn, ikey: Optional[str] = None) -> dict:
+        """One writer-lane statement, with the exactly-once contract.
+
+        A request whose idempotency key was already recorded is
+        answered from the record -- marked ``replayed`` -- without
+        touching the token: the earlier attempt applied, only its
+        response was lost on the wire.  The record is written inside
+        the writer lane, so no concurrent retry can observe a gap
+        between "applied" and "recorded".  A statement that dies on
+        :class:`PowerLoss` triggers an in-place recovery (power-cycle
+        plus statement rollback) before the error is reported.
+        """
         claim = min(WRITER_CLAIM_PAGES * self.db.token.ram.page_size,
                     self.db.token.ram.capacity)
         async with self._writer_lane:
+            cached = self.db.ikeys.seen(ikey)
+            if cached is not None:
+                self.replays += 1
+                response = dict(cached)
+                response["replayed"] = True
+                return response
             with await self.admission.admit(claim, "writer") as ticket:
-                outcome = await asyncio.to_thread(self._locked, fn)
+                try:
+                    outcome = await asyncio.to_thread(self._locked, fn)
+                except PowerLoss:
+                    self.recoveries += 1
+                    await asyncio.to_thread(self._locked, self.db.recover)
+                    raise
                 self._writer_seq += 1
                 seq = self._writer_seq
             generations = {
                 t: list(g)
                 for t, g in self.db.table_generations.items()
             }
-        if isinstance(outcome, dict):          # compact's ready response
-            response = outcome
-        elif outcome is None:                  # DDL
-            response = {"ok": True, "kind": "ok"}
-        else:                                  # DmlResult
-            response = {
-                "ok": True, "kind": "dml",
-                "statement": outcome.statement,
-                "table": outcome.table,
-                "rows_affected": outcome.rows_affected,
-                "stats": _stats_block(outcome.stats, ticket.claim,
-                                      ticket.waited_s),
-            }
-        response["writer_seq"] = seq
-        response["generations"] = generations
-        return response
+            if isinstance(outcome, dict):      # compact's ready response
+                response = outcome
+            elif outcome is None:              # DDL
+                response = {"ok": True, "kind": "ok"}
+            else:                              # DmlResult
+                response = {
+                    "ok": True, "kind": "dml",
+                    "statement": outcome.statement,
+                    "table": outcome.table,
+                    "rows_affected": outcome.rows_affected,
+                    "stats": _stats_block(outcome.stats, ticket.claim,
+                                          ticket.waited_s),
+                }
+            response["writer_seq"] = seq
+            response["generations"] = generations
+            if ikey is not None and response.get("kind") == "dml":
+                self.db.ikeys.record(ikey, dict(response))
+            return response
 
     # ------------------------------------------------------------------
     def _locked(self, fn, *args):
@@ -452,6 +510,8 @@ class GhostServer:
                 "snapshot_retries": self.snapshot_retries,
                 "claim_underruns": self.claim_underruns,
                 "writer_seq": self._writer_seq,
+                "replays": self.replays,
+                "recoveries": self.recoveries,
             },
             "plan_cache": {
                 "hits": cache.hits, "misses": cache.misses,

@@ -46,12 +46,15 @@ from repro.core.plan import (OrderPlan, ProjectionMode, QueryPlan,
                              SortMethod)
 from repro.core.planner import (SortMethodLike, StrategyLike,
                                 scatter_order)
+from repro.core.recovery import (IdempotencyLedger, RecoveryReport,
+                                 StatementJournal)
 from repro.core.reference import ReferenceEngine
 from repro.core.session import PlanCache, plan_key
 from repro.core.sort import (dedup_rows, sort_projections,
                              strip_internal_columns)
 from repro.errors import (BindError, CompactionDeclined, GhostDBError,
-                          SchemaError, SnapshotError)
+                          SchemaError, ShardDown, ShardUnavailable,
+                          SnapshotError)
 from repro.hardware.token import (SecureToken, TokenConfig,
                                   fleet_admission_ram)
 from repro.schema.ddl import column_from_def
@@ -305,6 +308,82 @@ class ShardedGhostDB:
         self._sessions: "weakref.WeakSet[FleetSession]" = weakref.WeakSet()
         self._default_session: Optional[FleetSession] = None
         self._generation = 0
+        #: optional :class:`repro.faults.fleet.FleetFaults` injector
+        self.faults = None
+        #: shards this fleet has observed dead (degraded mode)
+        self._down: set = set()
+        #: fleet-level idempotency ledger (the service layer's view)
+        self.ikeys = IdempotencyLedger()
+
+    # ------------------------------------------------------------------
+    # degraded-fleet plumbing
+    # ------------------------------------------------------------------
+    def _touch_shard(self, k: int) -> None:
+        """One statement-level touch of shard ``k``.
+
+        Raises :class:`ShardUnavailable` when the shard is already
+        known dead, or when the fault injector kills it at this touch
+        (in which case the death is remembered -- the fleet degrades).
+        """
+        if k in self._down:
+            raise ShardUnavailable(
+                f"shard {k} is down; statement rejected (degraded fleet)"
+            )
+        if self.faults is not None:
+            try:
+                self.faults.check(k)
+            except ShardDown as exc:
+                self._down.add(k)
+                raise ShardUnavailable(
+                    f"shard {k} failed mid-statement: {exc}"
+                ) from exc
+
+    def _next_live_shard(self, k: int) -> int:
+        """First live shard after ``k`` (wrapping); for rerouting
+        root-free statements away from a dead shard."""
+        for step in range(1, self.n_shards):
+            candidate = (k + step) % self.n_shards
+            if candidate not in self._down:
+                try:
+                    self._touch_shard(candidate)
+                except ShardUnavailable:
+                    continue
+                return candidate
+        raise ShardUnavailable("no live shard left in the fleet")
+
+    def fleet_health(self) -> Dict[int, Dict[str, object]]:
+        """Per-shard health probe: ``{shard: {"up": bool, ...}}``.
+
+        Non-destructive -- probing does not advance the fault
+        schedule's touch counter.  Live shards also report their
+        per-table generations so a caller can verify the replicas
+        agree after recovery.
+        """
+        out: Dict[int, Dict[str, object]] = {}
+        for k, shard in enumerate(self.shards):
+            up = k not in self._down and (
+                self.faults is None or self.faults.is_up(k))
+            entry: Dict[str, object] = {"up": up}
+            if up and shard.catalog is not None:
+                entry["generations"] = dict(shard.table_generations)
+            out[k] = entry
+        return out
+
+    def recover(self) -> Dict[int, RecoveryReport]:
+        """Recover every reachable shard; returns per-shard reports.
+
+        Shards the fault schedule still marks dead are skipped (a dead
+        token cannot be recovered until it is revived); every other
+        shard runs the single-token recovery scan and leaves the
+        degraded set.
+        """
+        reports: Dict[int, RecoveryReport] = {}
+        for k, shard in enumerate(self.shards):
+            if self.faults is not None and not self.faults.is_up(k):
+                continue
+            reports[k] = shard.recover()
+            self._down.discard(k)
+        return reports
 
     # ------------------------------------------------------------------
     # pass-through schema plumbing
@@ -577,7 +656,14 @@ class ShardedGhostDB:
     def _execute_fleet_plan(self, plan: FleetQueryPlan, *,
                             announce: bool = True) -> QueryResult:
         if not plan.scatter:
-            result = self.shards[plan.shard_id].execute_plan(
+            k = plan.shard_id
+            try:
+                self._touch_shard(k)
+            except ShardUnavailable:
+                # Root-free plans read replicated tables, so any live
+                # shard answers identically: degrade, don't fail.
+                k = self._next_live_shard(k)
+            result = self.shards[k].execute_plan(
                 plan.shard_plans[0], announce=announce)
             result.shard_stats = [result.stats]
             result = QueryResult(columns=result.columns,
@@ -585,11 +671,18 @@ class ShardedGhostDB:
                                  stats=result.stats, plan=plan)
             result.shard_stats = [result.stats]
             return result
-        frags = [
-            self.shards[k].execute_fragment(plan.shard_plans[k],
-                                            announce=announce)
-            for k in range(self.n_shards)
-        ]
+        # A scatter needs every shard: probe each one both before the
+        # scatter starts and again right before its fragment runs, so
+        # a token dying mid-scatter fails the statement cleanly (reads
+        # have no on-token side effects to undo) and names the shard.
+        for k in range(self.n_shards):
+            self._touch_shard(k)
+        frags = []
+        for k in range(self.n_shards):
+            self._touch_shard(k)
+            frags.append(
+                self.shards[k].execute_fragment(plan.shard_plans[k],
+                                                announce=announce))
         streams = [
             gather.translate_rows(frag.rows, plan.trans_positions,
                                   self._root_maps[k])
@@ -693,10 +786,21 @@ class ShardedGhostDB:
         # validate every slice before any shard mutates: a single
         # token validates the whole statement up front, and the fleet
         # must keep that all-or-nothing contract
+        for k in sub:
+            self._touch_shard(k)
         for k, sub_bound in sub.items():
             self.shards[k]._dml.validate_insert(sub_bound)
-        results = [self.shards[k]._run_dml(sub_bound)
-                   for k, sub_bound in sub.items()]
+        results = []
+        applied: List[int] = []
+        try:
+            for k, sub_bound in sub.items():
+                self._touch_shard(k)
+                results.append(self.shards[k]._run_dml(sub_bound))
+                applied.append(k)
+        except GhostDBError:
+            for k in reversed(applied):
+                self.shards[k].undo_last_dml()
+            raise
         for k, gids in enumerate(per_shard_gids):
             self._root_maps[k].extend(gids)
         self._next_root_gid = start + len(bound.rows)
@@ -707,10 +811,24 @@ class ShardedGhostDB:
 
     def _broadcast_dml(self, bound, sum_affected: bool = False
                        ) -> DmlResult:
+        for k in range(self.n_shards):
+            self._touch_shard(k)
         if isinstance(bound, BoundInsert):
             # pre-validate once; the targets are replicated identically
             self.shards[0]._dml.validate_insert(bound)
-        results = [shard._run_dml(bound) for shard in self.shards]
+        results = []
+        applied: List[int] = []
+        try:
+            for k, shard in enumerate(self.shards):
+                self._touch_shard(k)
+                results.append(shard._run_dml(bound))
+                applied.append(k)
+        except GhostDBError:
+            # all-or-nothing: roll the already-written shards back to
+            # their pre-statement generations before failing
+            for k in reversed(applied):
+                self.shards[k].undo_last_dml()
+            raise
         affected = (sum(r.rows_affected for r in results)
                     if sum_affected else results[0].rows_affected)
         stats = QueryStats.parallel([r.stats for r in results])
@@ -734,18 +852,44 @@ class ShardedGhostDB:
                 f"statement has {bound.param_count} unbound ? "
                 f"placeholder(s); pass params to execute()"
             )
+        for k in range(self.n_shards):
+            self._touch_shard(k)
         meters = [_ShardMeter(shard) for shard in self.shards]
         ids: List[List[int]] = []
-        for shard, meter in zip(self.shards, meters):
+        for k, (shard, meter) in enumerate(zip(self.shards, meters)):
+            self._touch_shard(k)
             with meter.window():
                 ids.append(shard._dml.delete_candidates(bound))
-        for shard, meter, shard_ids in zip(self.shards, meters, ids):
+        for k, (shard, meter, shard_ids) in enumerate(
+                zip(self.shards, meters, ids)):
+            self._touch_shard(k)
             with meter.window():
                 shard._dml.check_restrict(bound.table, shard_ids)
         counts = []
-        for shard, meter, shard_ids in zip(self.shards, meters, ids):
-            with meter.window():
-                counts.append(shard._dml.apply_delete(bound, shard_ids))
+        applied: List[int] = []
+        try:
+            for k, (shard, meter, shard_ids) in enumerate(
+                    zip(self.shards, meters, ids)):
+                self._touch_shard(k)
+                # arm an undo journal exactly like _run_dml does, so a
+                # later shard's failure can roll this apply back
+                journal = StatementJournal(shard, bound.table)
+                try:
+                    with meter.window():
+                        counts.append(
+                            shard._dml.apply_delete(bound, shard_ids))
+                except BaseException:
+                    journal.detach()
+                    shard._journal = journal   # uncommitted
+                    raise
+                journal.detach()
+                journal.committed = True
+                shard._journal = journal
+                applied.append(k)
+        except GhostDBError:
+            for k in reversed(applied):
+                self.shards[k].undo_last_dml()
+            raise
         stats = QueryStats.parallel([m.stats() for m in meters])
         stats.result_rows = counts[0]
         return DmlResult(statement="delete", table=bound.table,
@@ -771,12 +915,17 @@ class ShardedGhostDB:
         torn state, so the fleet declines as a whole first.
         """
         self._require_built()
+        # every shard must be reachable before any shard folds a page:
+        # a token dying mid-preflight declines the whole compaction
+        for k in range(self.n_shards):
+            self._touch_shard(k)
         if table != self.root:
             progs = [shard.compact(table, max_steps, pages_per_step,
                                    headroom_factor)
                      for shard in self.shards]
             return _combine_progress(progs)
         for k, shard in enumerate(self.shards):
+            self._touch_shard(k)
             report = shard._compactor.advise(table, headroom_factor)
             if report.verdict in ("defer", "decline"):
                 raise CompactionDeclined(

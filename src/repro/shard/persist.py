@@ -66,6 +66,7 @@ def snapshot_fleet(db: "ShardedGhostDB", path: str) -> Dict[str, int]:
         "root_maps": [list(m) for m in db._root_maps],
         "shard_images": [os.path.basename(_shard_path(path, k))
                          for k in range(db.n_shards)],
+        "ikeys": db.ikeys.to_meta(),
     }
     body = FLEET_MAGIC + json.dumps(manifest).encode("utf-8")
     tmp = path + ".tmp"
@@ -123,6 +124,10 @@ def restore_fleet(path: str, verify: bool = False) -> "ShardedGhostDB":
     fleet._sessions = weakref.WeakSet()
     fleet._default_session = None
     fleet._generation = max(s._generation for s in shards)
+    fleet.faults = None
+    fleet._down = set()
+    from repro.core.recovery import IdempotencyLedger
+    fleet.ikeys = IdempotencyLedger.from_meta(manifest.get("ikeys"))
     if fleet.root != manifest["root"]:
         raise ImageError(
             f"fleet manifest root {manifest['root']!r} does not match "

@@ -1,0 +1,93 @@
+"""Shared helpers for the fault-injection chaos suites.
+
+Lives outside ``conftest.py`` so test modules can import the helpers
+directly (the repo's test tree is packageless).  The CI chaos-smoke
+job varies ``GHOSTDB_CHAOS_SEED`` across a fixed seed matrix and caps
+``GHOSTDB_CHAOS_EXAMPLES`` per lane; locally both default to the
+values baked into each suite.
+"""
+
+import os
+import random
+
+from repro.core.ghostdb import GhostDB
+from repro.hardware.channel import UsbChannel
+
+#: fleet-wide seed offset: the CI matrix reruns every lane under
+#: several values so one green seed cannot hide a schedule-shaped bug
+CHAOS_SEED = int(os.environ.get("GHOSTDB_CHAOS_SEED", "0"))
+
+#: probes issued between fault injections; every one is checked
+#: against the reference oracle
+PROBES = (
+    "SELECT P.id, C.w FROM P, C WHERE P.fk = C.id AND C.h = 1 "
+    "AND P.v < 60",
+    "SELECT C.id FROM C WHERE C.h = 2",
+    "SELECT P.id FROM P ORDER BY P.hp LIMIT 7",
+)
+
+
+def chaos_examples(default):
+    """Per-lane Hypothesis example budget (env-overridable for CI)."""
+    raw = os.environ.get("GHOSTDB_CHAOS_EXAMPLES")
+    return int(raw) if raw else default
+
+
+def mix(seed):
+    """Fold the CI seed-matrix value into one drawn example seed."""
+    return seed ^ (CHAOS_SEED * 1_000_003)
+
+
+def build_pc(seed=0, shards=None):
+    """The mini parent/child database the chaos lanes mutate.
+
+    ``P`` is the root (it holds the fk), ``C`` the referenced table;
+    both carry one hidden column so the no-leak audit is load-bearing.
+    """
+    rng = random.Random(seed)
+    kwargs = {"indexed_columns": {"C": ("h",), "P": ("hp",)}}
+    if shards:
+        kwargs["shards"] = shards
+    db = GhostDB(**kwargs)
+    db.execute("CREATE TABLE P (id int, fk int HIDDEN REFERENCES C, "
+               "v int, hp float HIDDEN)")
+    db.execute("CREATE TABLE C (id int, h int HIDDEN, w int)")
+    n_c = 10
+    db.load("C", [(rng.randrange(8), rng.randrange(6))
+                  for _ in range(n_c)])
+    db.load("P", [(rng.randrange(n_c), rng.randrange(100),
+                   rng.random() * 30) for _ in range(80)])
+    db.build()
+    return db
+
+
+def assert_oracle(db, sql):
+    """One probe must match the reference oracle exactly."""
+    result = db.execute(sql)
+    _, expected = db.reference_query(sql)
+    if "ORDER BY" in sql:
+        assert result.rows == expected, sql
+    else:
+        assert sorted(result.rows) == sorted(expected), sql
+
+
+def assert_no_leak(db):
+    """Nothing outside the safe outbound kinds ever left the token."""
+    safe = UsbChannel.SAFE_OUTBOUND_KINDS
+    logs = db.audit_outbound()
+    if isinstance(logs, dict):           # a fleet: one log per shard
+        for log in logs.values():
+            assert all(m.kind in safe for m in log)
+    else:
+        assert all(m.kind in safe for m in logs)
+
+
+def assert_rows_identical(db, twin):
+    """Every probe answers row-identically on both databases."""
+    for sql in PROBES:
+        mine = db.execute(sql).rows
+        theirs = twin.execute(sql).rows
+        if "ORDER BY" in sql:
+            assert mine == theirs, sql
+        else:
+            assert sorted(mine) == sorted(theirs), sql

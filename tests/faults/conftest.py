@@ -1,0 +1,27 @@
+"""Fixtures: prebuilt durable images the chaos lanes restore from.
+
+Building the mini database is the expensive part of every Hypothesis
+example; restoring a snapshot is milliseconds.  Each lane therefore
+builds once per session, snapshots, and restores a fresh twin pair
+per example.
+"""
+
+import pytest
+
+from chaos import build_pc
+
+
+@pytest.fixture(scope="session")
+def single_image(tmp_path_factory):
+    db = build_pc()
+    path = str(tmp_path_factory.mktemp("chaos") / "single.img")
+    db.snapshot(path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def fleet_image(tmp_path_factory):
+    fleet = build_pc(shards=2)
+    path = str(tmp_path_factory.mktemp("chaos") / "fleet.img")
+    fleet.snapshot(path)
+    return path

@@ -1,0 +1,175 @@
+"""Unit coverage of the fault injectors and the recovery machinery."""
+
+import pytest
+
+from repro.core.ghostdb import GhostDB
+from repro.core.recovery import IdempotencyLedger, RecoveryReport
+from repro.errors import (FlashCorruption, PowerLoss, ShardDown,
+                          ShardUnavailable)
+from repro.faults import FlashFaults, FleetFaults
+from repro.flash.constants import FlashParams
+from repro.flash.nand import NandFlash
+
+from chaos import PROBES, assert_oracle, build_pc
+
+
+def _nand():
+    return NandFlash(FlashParams())
+
+
+# ----------------------------------------------------------------------
+# NAND checksums: torn writes detected, transient flips healed
+# ----------------------------------------------------------------------
+def test_torn_write_is_detected_on_read():
+    nand = _nand()
+    faults = FlashFaults(nand, seed=3, cut_at_program=0)
+    faults.attach()
+    with pytest.raises(PowerLoss):
+        nand.program_page(0, b"payload-that-gets-torn")
+    faults.detach()
+    assert nand.failed
+    nand.power_on()
+    # the spare-area checksum is of the *intended* bytes, so the torn
+    # page can never be read back as if it were whole
+    with pytest.raises(FlashCorruption):
+        nand.read_page(0)
+
+
+def test_transient_read_flips_are_healed_by_retry():
+    nand = _nand()
+    nand.program_page(0, b"stable payload")
+    faults = FlashFaults(nand, seed=5, flip_read_every=2)
+    faults.attach()
+    # every 2nd read attempt flips one bit; the internal retry re-reads
+    # and the checksum accepts the clean copy -- callers never see it
+    for _ in range(6):
+        assert nand.read_page(0) == b"stable payload"
+    faults.detach()
+    assert faults.flips > 0
+    assert nand.read_retries > 0
+
+
+def test_failed_latch_blocks_until_power_on():
+    nand = _nand()
+    nand.program_page(0, b"x")
+    nand.failed = True
+    with pytest.raises(PowerLoss):
+        nand.read_page(0)
+    with pytest.raises(PowerLoss):
+        nand.program_page(1, b"y")
+    nand.power_on()
+    assert nand.read_page(0) == b"x"
+
+
+def test_flash_faults_rejects_degenerate_flip_rate():
+    with pytest.raises(ValueError):
+        FlashFaults(_nand(), flip_read_every=1)
+
+
+# ----------------------------------------------------------------------
+# the statement journal through the public recovery surface
+# ----------------------------------------------------------------------
+def test_recover_rolls_back_a_cut_insert():
+    db = build_pc()
+    before_stats = db.statistics()
+    before_gens = dict(db.table_generations)
+    faults = FlashFaults(db.token.nand, seed=11, cut_at_program=0)
+    faults.attach()
+    with pytest.raises(PowerLoss):
+        db.execute("INSERT INTO P VALUES (1, 55, 9.5)")
+    faults.detach()
+    report = db.recover()
+    assert report.power_cycled
+    assert report.rolled_back_table == "P"
+    assert "rolled back" in report.describe()
+    assert db.statistics() == before_stats
+    assert dict(db.table_generations) == before_gens
+    for sql in PROBES:
+        assert_oracle(db, sql)
+
+
+def test_undo_last_dml_reverts_a_committed_statement():
+    db = build_pc()
+    before = db.statistics()
+    db.execute("INSERT INTO P VALUES (2, 77, 1.25)")
+    assert db.statistics() != before
+    assert db.undo_last_dml() == "P"
+    assert db.statistics() == before
+    # nothing left to undo
+    assert db.undo_last_dml() is None
+    for sql in PROBES:
+        assert_oracle(db, sql)
+
+
+def test_recover_on_a_healthy_database_is_a_no_op():
+    db = build_pc()
+    before = db.statistics()
+    report = db.recover()
+    assert not report.power_cycled
+    assert report.rolled_back_table is None
+    assert report.corrupt_pages == []
+    assert report.describe() == "recovery: clean"
+    assert db.statistics() == before
+
+
+# ----------------------------------------------------------------------
+# idempotency ledger
+# ----------------------------------------------------------------------
+def test_ledger_records_replays_and_evicts_fifo():
+    ledger = IdempotencyLedger(capacity=2)
+    assert ledger.seen(None) is None
+    ledger.record(None, {"ok": True})          # ignored
+    assert len(ledger) == 0
+    ledger.record("a", {"n": 1})
+    ledger.record("b", {"n": 2})
+    assert ledger.seen("a") == {"n": 1}
+    ledger.record("c", {"n": 3})               # evicts "a"
+    assert ledger.seen("a") is None
+    assert ledger.seen("c") == {"n": 3}
+    rebuilt = IdempotencyLedger.from_meta(ledger.to_meta())
+    assert rebuilt.seen("b") == {"n": 2}
+    assert IdempotencyLedger.from_meta(None).seen("b") is None
+
+
+# ----------------------------------------------------------------------
+# fleet fault schedule
+# ----------------------------------------------------------------------
+def test_fleet_faults_kill_at_ordinal():
+    faults = FleetFaults(kill_at=(1, 2))
+    faults.check(0)
+    faults.check(1)            # ordinal 1 < 2: still alive
+    faults.check(0)
+    with pytest.raises(ShardDown):
+        faults.check(1)        # ordinal 3 >= 2: dies
+    assert faults.killed == [1]
+    assert not faults.is_up(1) and faults.is_up(0)
+    faults.revive(1)
+    assert faults.is_up(1)
+    # the schedule is persistent: past the ordinal, touching the shard
+    # kills it again until the kill rule is lifted
+    faults.kill_at = None
+    faults.check(1)
+
+
+def test_fleet_down_from_start_and_manual_kill():
+    faults = FleetFaults(down=(0,))
+    with pytest.raises(ShardDown):
+        faults.check(0)
+    faults.kill(1)
+    assert not faults.is_up(1)
+
+
+def test_touch_shard_remembers_the_death():
+    fleet = build_pc(shards=2)
+    fleet.faults = FleetFaults(kill_at=(1, 0))
+    with pytest.raises(ShardUnavailable):
+        fleet._touch_shard(1)
+    fleet.faults = None
+    # the fleet stays degraded until recover() clears it
+    with pytest.raises(ShardUnavailable):
+        fleet._touch_shard(1)
+    assert not fleet.fleet_health()[1]["up"]
+    reports = fleet.recover()
+    assert set(reports) == {0, 1}
+    assert isinstance(reports[0], RecoveryReport)
+    assert fleet.fleet_health()[1]["up"]

@@ -1,0 +1,116 @@
+"""Wire-lane chaos: dropped, truncated and stalled response frames.
+
+Every Hypothesis example boots a real :class:`GhostServer` over a
+restored database, attaches a deterministic :class:`WireFaults`
+schedule to the response path, and drives uniquely-marked INSERTs
+through a retrying client.  The exactly-once contract under test:
+
+* a marker the client reported as applied appears exactly once;
+* no marker ever appears more than once, however many times the
+  request was resent (the idempotency ledger absorbs the replays);
+* the faults never widen the leak surface (no-leak audit holds).
+
+A separate lane stalls responses past the client timeout so the
+``ServiceTimeout`` -> reconnect -> retry path is the one exercised.
+"""
+
+import asyncio
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ghostdb import GhostDB
+from repro.faults import WireFaults
+from repro.service.client import AsyncGhostClient, ServiceError
+from repro.service.server import GhostServer
+
+from chaos import (PROBES, assert_no_leak, assert_oracle, chaos_examples,
+                   mix)
+
+CHAOS_SETTINGS = dict(deadline=None, derandomize=True, database=None,
+                      suppress_health_check=[
+                          HealthCheck.too_slow,
+                          HealthCheck.function_scoped_fixture])
+
+
+async def _drive_markers(db, wire, markers, timeout_s=2.0, retries=6):
+    """Insert one row per marker through a faulty server; returns the
+    markers the client reported as applied, plus the server."""
+    server = GhostServer(db, wire_faults=wire)
+    await server.start()
+    applied = []
+    try:
+        client = await AsyncGhostClient.connect(
+            "127.0.0.1", server.port, timeout_s=timeout_s,
+            retries=retries, backoff_s=0.01)
+        try:
+            for marker in markers:
+                try:
+                    await client.execute(
+                        "INSERT INTO P VALUES (?, ?, ?)",
+                        params=(marker % 10, marker, 0.5))
+                    applied.append(marker)
+                except (ServiceError, ConnectionError, OSError):
+                    pass  # retries exhausted: outcome checked below
+        finally:
+            await client.close()
+    finally:
+        await server.stop()
+    return applied, server, client
+
+
+def _marker_count(db, marker):
+    return len(db.execute("SELECT P.id FROM P WHERE P.v = ?",
+                          params=(marker,)).rows)
+
+
+@settings(max_examples=chaos_examples(50), **CHAOS_SETTINGS)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_dropped_and_truncated_frames_apply_exactly_once(
+        single_image, seed):
+    rng = random.Random(mix(seed))
+    db = GhostDB.restore(single_image)
+    wire = WireFaults(drop_every=rng.choice((None, 2, 3, 5)),
+                      truncate_every=rng.choice((None, 3, 4, 7)))
+    markers = [1000 + 10 * seed % 1000 + i for i in range(rng.randint(2, 4))]
+
+    applied, server, _ = asyncio.run(_drive_markers(db, wire, markers))
+
+    for marker in markers:
+        count = _marker_count(db, marker)
+        assert count <= 1, f"marker {marker} double-applied"
+        if marker in applied:
+            assert count == 1, f"acked marker {marker} missing"
+    if wire.drop_every or wire.truncate_every:
+        assert wire.frames > 0
+    assert server.errors_total == 0
+    assert_oracle(db, rng.choice(PROBES))
+    assert_no_leak(db)
+    db.token.ram.assert_all_freed()
+
+
+@settings(max_examples=chaos_examples(20), **CHAOS_SETTINGS)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_stalled_responses_time_out_and_retry_exactly_once(
+        single_image, seed):
+    rng = random.Random(mix(seed) + 3)
+    db = GhostDB.restore(single_image)
+    wire = WireFaults(stall_every=2, stall_s=0.4)
+    markers = [5000 + seed % 1000 + i for i in range(3)]
+
+    applied, server, client = asyncio.run(_drive_markers(
+        db, wire, markers, timeout_s=0.15, retries=6))
+
+    # at least one response stalled past the client timeout, so the
+    # timeout -> reconnect -> retry path genuinely ran
+    assert wire.stalled >= 1
+    assert client.timeouts_total >= 1
+    assert client.retries_total >= 1
+    for marker in markers:
+        count = _marker_count(db, marker)
+        assert count <= 1, "stall retry double-applied the insert"
+        if marker in applied:
+            assert count == 1
+    assert_no_leak(db)
+    db.token.ram.assert_all_freed()

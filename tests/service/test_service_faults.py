@@ -1,0 +1,157 @@
+"""Service fault satellites: client timeouts, retry-to-success,
+idempotent replay, and the stop()-drains-writes contract."""
+
+import asyncio
+
+import pytest
+
+from repro.core.ghostdb import GhostDB
+from repro.faults import WireFaults
+from repro.service.client import (AsyncGhostClient, GhostClient,
+                                  ServiceTimeout)
+from repro.service.server import GhostServer
+
+from harness import serving
+
+
+def _mini_db():
+    db = GhostDB()
+    db.execute("CREATE TABLE P (id int, fk int HIDDEN REFERENCES C, "
+               "v int)")
+    db.execute("CREATE TABLE C (id int, w int)")
+    db.load("C", [(i,) for i in range(4)])
+    db.load("P", [(i % 4, i) for i in range(8)])
+    db.build()
+    return db
+
+
+def _count_v(db, v):
+    return len(db.execute("SELECT P.id FROM P WHERE P.v = ?",
+                          params=(v,)).rows)
+
+
+def test_sync_client_times_out_cleanly_on_a_stalled_server():
+    db = _mini_db()
+    with serving(db) as server:
+        server.wire_faults = WireFaults(stall_every=1, stall_s=0.6)
+        client = GhostClient("127.0.0.1", server.port, timeout_s=0.1)
+        try:
+            with pytest.raises(ServiceTimeout):
+                client.execute("SELECT C.id FROM C")
+            assert client.timeouts_total == 1
+        finally:
+            client.close()
+
+
+def test_async_client_times_out_cleanly_on_a_stalled_server():
+    db = _mini_db()
+
+    async def run():
+        server = GhostServer(
+            db, wire_faults=WireFaults(stall_every=1, stall_s=0.6))
+        await server.start()
+        try:
+            client = await AsyncGhostClient.connect(
+                "127.0.0.1", server.port, timeout_s=0.1)
+            try:
+                with pytest.raises(ServiceTimeout):
+                    await client.execute("SELECT C.id FROM C")
+                assert client.timeouts_total == 1
+            finally:
+                await client.close()
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_dropped_response_frames_retry_to_success():
+    db = _mini_db()
+
+    async def run():
+        server = GhostServer(db, wire_faults=WireFaults(drop_every=2))
+        await server.start()
+        try:
+            client = await AsyncGhostClient.connect(
+                "127.0.0.1", server.port, timeout_s=2.0, retries=4,
+                backoff_s=0.01)
+            try:
+                for i in range(4):
+                    result = await client.execute(
+                        "INSERT INTO P VALUES (?, ?)", params=(i % 4,
+                                                               100 + i))
+                    assert result.kind == "dml"
+                return client.retries_total
+            finally:
+                await client.close()
+        finally:
+            await server.stop()
+
+    retries = asyncio.run(run())
+    assert retries >= 1                  # the schedule really dropped
+    for i in range(4):
+        assert _count_v(db, 100 + i) == 1
+
+
+def test_resent_idempotency_key_replays_instead_of_reapplying():
+    db = _mini_db()
+
+    async def run():
+        server = GhostServer(db)
+        await server.start()
+        try:
+            client = await AsyncGhostClient.connect(
+                "127.0.0.1", server.port)
+            try:
+                payload = {"op": "execute",
+                           "sql": "INSERT INTO P VALUES (1, 555)",
+                           "params": None, "ikey": "fixed-ikey-1"}
+                first = await client._call_with_retries(dict(payload))
+                second = await client._call_with_retries(dict(payload))
+                return first, second, server.replays
+            finally:
+                await client.close()
+        finally:
+            await server.stop()
+
+    first, second, replays = asyncio.run(run())
+    assert not first.get("replayed")
+    assert second.get("replayed")
+    assert second.get("writer_seq") == first.get("writer_seq")
+    assert replays == 1
+    assert _count_v(db, 555) == 1        # applied exactly once
+
+
+def test_stop_drains_the_inflight_writer_lane_statement():
+    db = _mini_db()
+
+    async def run():
+        server = GhostServer(db)
+        await server.start()
+        client = await AsyncGhostClient.connect(
+            "127.0.0.1", server.port, timeout_s=5.0)
+        try:
+            # hold the writer lane so the DML parks behind it, then
+            # stop the server while the statement is still in flight
+            await server._writer_lane.acquire()
+            write = asyncio.create_task(
+                client.execute("INSERT INTO P VALUES (2, 777)"))
+            for _ in range(200):
+                if server._request_tasks:
+                    break
+                await asyncio.sleep(0.005)
+            assert server._request_tasks, "request never registered"
+            stopper = asyncio.create_task(server.stop())
+            await asyncio.sleep(0.02)
+            server._writer_lane.release()
+            result = await write
+            await stopper
+            return result
+        finally:
+            await client.close()
+
+    result = asyncio.run(run())
+    # the tagged response was delivered, not dropped by the shutdown
+    assert result.kind == "dml"
+    assert result.raw.get("writer_seq") == 1
+    assert _count_v(db, 777) == 1
